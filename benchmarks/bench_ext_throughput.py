@@ -1,0 +1,24 @@
+"""Benchmark: the extension experiment -- server-level capacity uplift.
+
+Not a paper figure; quantifies the abstract's claim that the per-invocation
+speedup "translates into a corresponding throughput improvement".
+"""
+
+from conftest import run_once
+
+from repro.experiments import ext_throughput
+
+FUNCTIONS = ["Auth-P", "Email-P", "Pay-N", "Curr-N",
+             "Auth-G", "ProdL-G", "Rate-G", "AES-G"]
+
+
+def test_ext_throughput_uplift(benchmark, bench_cfg, report):
+    result = run_once(benchmark, ext_throughput.run, bench_cfg,
+                      functions=FUNCTIONS)
+    report("ext_throughput", ext_throughput.render(result))
+    # Capacity uplift tracks the Fig. 10 speedup (paper: +18.7% -> a
+    # "corresponding throughput improvement").
+    assert 0.10 < result.geomean_uplift < 0.30
+    assert result.server_rate("jukebox") > result.server_rate("baseline")
+    for e in result.entries:
+        assert e.capacity_uplift > 0

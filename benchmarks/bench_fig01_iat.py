@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 1 (CPI vs. inter-arrival time)."""
+
+from conftest import run_once
+
+from repro.experiments import fig01_iat
+
+
+def test_fig01_iat_sweep(benchmark, bench_cfg, report):
+    result = run_once(benchmark, fig01_iat.run, bench_cfg)
+    report("fig01_iat", fig01_iat.render(result))
+    for abbrev, series in result.normalized_cpi.items():
+        assert series[0] == 1.0
+        # CPI grows with IAT and saturates in the 2-3x band (paper:
+        # ~2.7x for Auth-P, ~2.5x for AES-N beyond a one-second IAT).
+        assert series[-1] > 1.8
+        assert series[-1] == max(series)

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 2 (Top-Down CPI stacks, all 20 functions)."""
+
+from conftest import run_once
+
+from repro.experiments import fig02_topdown
+
+
+def test_fig02_topdown_stacks(benchmark, bench_cfg, report):
+    result = run_once(benchmark, fig02_topdown.run, bench_cfg)
+    report("fig02_topdown", fig02_topdown.render(result))
+    assert len(result.entries) == 20
+    # Paper: interleaving costs 31-114% CPI (mean ~70%).
+    assert 0.3 < result.mean_cpi_increase < 1.3
+    # Paper: front-end is ~51%/55% of cycles in reference/interleaved.
+    assert 0.35 < result.mean_frontend_fraction("reference") < 0.65
+    assert 0.40 < result.mean_frontend_fraction("interleaved") < 0.75

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 8 (metadata size vs. region size)."""
+
+from conftest import run_once
+
+from repro.experiments import fig08_metadata
+from repro.units import KB
+
+
+def test_fig08_metadata_sensitivity(benchmark, bench_cfg, report):
+    result = run_once(benchmark, fig08_metadata.run, bench_cfg)
+    report("fig08_metadata", fig08_metadata.render(result))
+    assert len(result.functions) == 20
+    for fn in result.functions:
+        best = result.best_region_size(fn, crrb=16)
+        # Paper: the sweet spot sits at mid-size regions (1KB for the
+        # majority; we accept the 512B-2KB neighbourhood).
+        assert 512 <= best <= 2 * KB, (fn, best)
+        # Metadata at the 1KB design point lands in the paper's 9.6-29.5KB
+        # band (scaled runs can undershoot slightly for the densest Go
+        # functions).
+        at_1k = result.metadata_bytes[(fn, 16, 1 * KB)]
+        assert 2 * KB < at_1k < 40 * KB, (fn, at_1k)
+
+
+def test_fig08_crrb_sensitivity_modest(benchmark, bench_cfg, report):
+    """Paper: metadata size has modest sensitivity to the CRRB size."""
+    result = run_once(benchmark, fig08_metadata.run, bench_cfg,
+                      functions=["Email-P", "Auth-G", "Pay-N"],
+                      crrb_sizes=(8, 16, 32))
+    lines = []
+    for fn in result.functions:
+        sizes = [result.metadata_bytes[(fn, c, 1 * KB)] for c in (8, 16, 32)]
+        lines.append(f"{fn}: CRRB 8/16/32 -> "
+                     + "/".join(f"{s / KB:.1f}KB" for s in sizes))
+        assert sizes[2] <= sizes[1] <= sizes[0]   # bigger CRRB coalesces more
+        assert sizes[0] < 1.6 * sizes[2]          # ...but only modestly
+    report("fig08_crrb", "\n".join(lines))

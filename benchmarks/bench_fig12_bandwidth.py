@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 12 (memory-bandwidth overhead)."""
+
+from conftest import run_once
+
+from repro.experiments import fig12_bandwidth
+
+
+def test_fig12_bandwidth_overhead(benchmark, bench_cfg, report):
+    result = run_once(benchmark, fig12_bandwidth.run, bench_cfg)
+    report("fig12_bandwidth", fig12_bandwidth.render(result))
+    assert len(result.entries) == 20
+    # Paper: +14% average overhead, +23% worst case.
+    assert 0.02 < result.mean_overhead < 0.25
+    assert result.max_overhead < 0.40
+    # Overhead decomposes into metadata + overprediction, both non-zero.
+    assert 0.0 < result.mean_metadata_share < 1.0

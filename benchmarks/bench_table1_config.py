@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (simulated processor parameters)."""
+
+from conftest import run_once
+
+from repro.experiments import table1_config
+
+
+def test_table1_configuration(benchmark, report):
+    result = run_once(benchmark, table1_config.run)
+    rendered = table1_config.render(result)
+    report("table1_config", rendered)
+    for fragment in ("x86-64", "2.6GHz", "1024KB", "8192KB",
+                     "CRRB: 16 entries", "Region size: 1KB"):
+        assert fragment in rendered

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 (the function suite)."""
+
+from conftest import run_once
+
+from repro.experiments import table2_workloads
+
+
+def test_table2_workloads(benchmark, report):
+    result = run_once(benchmark, table2_workloads.run)
+    rendered = table2_workloads.render(result)
+    report("table2_workloads", rendered)
+    assert len(result.profiles) == 20
+    groups = result.by_application()
+    assert len(groups["Hotel Reservation"]) == 5
+    assert len(groups["Online Boutique"]) == 6
+    assert len(groups["Other"]) == 9

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Keeps ``pip install -e .`` working on minimal offline environments where the
+``wheel`` package (required by the PEP 660 editable-install path) is not
+available: with no ``[build-system]`` table in pyproject.toml, pip falls
+back to the legacy ``setup.py develop`` code path, which has no wheel
+dependency.  All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""Reproduction of *Lukewarm Serverless Functions: Characterization and
+Optimization* (Schall et al., ISCA 2022).
+
+Public API layers:
+
+* :mod:`repro.core` -- Jukebox, the paper's record-and-replay instruction
+  prefetcher, plus the PIF baseline;
+* :mod:`repro.sim` -- the trace-driven CPU / memory-hierarchy simulation
+  substrate (the gem5 stand-in);
+* :mod:`repro.workloads` -- the 20-function serverless workload suite
+  (Table 2) as calibrated synthetic trace generators;
+* :mod:`repro.server` -- server-level interleaving, arrival processes and
+  keep-alive policies;
+* :mod:`repro.analysis` -- metrics (CPI, MPKI, Jaccard, speedups) and
+  report rendering;
+* :mod:`repro.experiments` -- one module per paper table/figure.
+
+Quickstart::
+
+    from repro import Jukebox, LukewarmCore, skylake
+    from repro.workloads import FunctionModel, get_profile
+
+    core = LukewarmCore(skylake())
+    model = FunctionModel(get_profile("Auth-G"))
+    jukebox = Jukebox(core.machine.jukebox)
+    for i in range(3):
+        core.flush_microarch_state()          # lukewarm invocation
+        jukebox.begin_invocation(core.hierarchy)
+        result = core.run(model.invocation_trace(i))
+        jukebox.end_invocation(core.hierarchy, result)
+        print(f"invocation {i}: CPI={result.cpi:.2f}")
+"""
+
+from repro.core import Jukebox, PIF, PIFParams, pif_ideal_params
+from repro.errors import (
+    ConfigurationError,
+    MetadataError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.sim import (
+    BROADWELL,
+    SKYLAKE,
+    InvocationResult,
+    JukeboxParams,
+    LukewarmCore,
+    MachineParams,
+    MemoryHierarchy,
+    TopDownBreakdown,
+    broadwell,
+    skylake,
+)
+from repro.workloads import FunctionModel, FunctionProfile, SUITE, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BROADWELL",
+    "ConfigurationError",
+    "FunctionModel",
+    "FunctionProfile",
+    "InvocationResult",
+    "Jukebox",
+    "JukeboxParams",
+    "LukewarmCore",
+    "MachineParams",
+    "MemoryHierarchy",
+    "MetadataError",
+    "PIF",
+    "PIFParams",
+    "ReproError",
+    "SKYLAKE",
+    "SUITE",
+    "SimulationError",
+    "TopDownBreakdown",
+    "TraceError",
+    "broadwell",
+    "get_profile",
+    "pif_ideal_params",
+    "skylake",
+    "__version__",
+]

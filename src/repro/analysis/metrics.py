@@ -1,0 +1,85 @@
+"""Metrics used across the characterization and evaluation experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.errors import ConfigurationError
+
+
+def jaccard_index(a: Set[int], b: Set[int]) -> float:
+    """Jaccard index of two footprints (Fig. 6b; Jaccard 1912).
+
+    Ranges from 0 (disjoint) to 1 (identical).  The union of two empty sets
+    is defined here to have index 1 (identical emptiness).
+    """
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 1.0
+    return len(a & b) / union
+
+
+def pairwise_jaccard(footprints: Sequence[Set[int]]) -> List[float]:
+    """All-pairs Jaccard indices (the paper compares 25 invocations ->
+    300 pairs)."""
+    indices: List[float] = []
+    n = len(footprints)
+    for i in range(n):
+        for j in range(i + 1, n):
+            indices.append(jaccard_index(footprints[i], footprints[j]))
+    return indices
+
+
+def speedup(baseline_cycles: float, optimized_cycles: float) -> float:
+    """Relative speedup: 0.187 means 18.7% faster than baseline."""
+    if optimized_cycles <= 0:
+        raise ConfigurationError("optimized cycles must be positive")
+    return baseline_cycles / optimized_cycles - 1.0
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    vals = list(values)
+    if not vals:
+        raise ConfigurationError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ConfigurationError(f"geomean needs positive values: {vals}")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def geomean_speedup(speedups: Iterable[float]) -> float:
+    """Geometric mean of *speedups* given as fractions (0.187 = 18.7%)."""
+    return geomean([1.0 + s for s in speedups]) - 1.0
+
+
+def mpki(misses: float, instructions: int) -> float:
+    """Misses per kilo-instruction."""
+    if instructions <= 0:
+        return 0.0
+    return 1000.0 * misses / instructions
+
+
+def percent_change(before: float, after: float) -> float:
+    """Relative change in percent: -74 means a 74% reduction (Table 3)."""
+    if before == 0:
+        return 0.0
+    return (after - before) / before * 100.0
+
+
+def summarize_distribution(values: Sequence[float]) -> Dict[str, float]:
+    """Five-number-ish summary used by the footprint/commonality figures."""
+    if not values:
+        return {"min": 0.0, "mean": 0.0, "median": 0.0, "max": 0.0}
+    ordered = sorted(values)
+    n = len(ordered)
+    median = (ordered[n // 2] if n % 2 == 1
+              else 0.5 * (ordered[n // 2 - 1] + ordered[n // 2]))
+    return {
+        "min": float(ordered[0]),
+        "mean": float(sum(ordered) / n),
+        "median": float(median),
+        "max": float(ordered[-1]),
+    }

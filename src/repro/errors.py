@@ -1,0 +1,24 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, cache, or prefetcher configuration is invalid."""
+
+
+class TraceError(ReproError):
+    """An invocation trace is malformed or inconsistent."""
+
+
+class MetadataError(ReproError):
+    """Jukebox metadata handling failed (e.g. writes past the buffer limit
+    that should have been clamped, or decoding of a corrupt entry)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""

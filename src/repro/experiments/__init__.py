@@ -1,0 +1,29 @@
+"""One module per paper table/figure (see DESIGN.md Sec. 4 for the index).
+
+Every experiment module exposes ``run(cfg, machine=None, functions=None)``
+returning a structured result, plus ``render(result)`` returning the
+plain-text table/series the paper reports.  ``runner`` provides the
+``lukewarm-repro`` CLI over all of them.
+"""
+
+from repro.experiments.common import (
+    RunConfig,
+    SequenceResult,
+    run_all_configs,
+    run_baseline,
+    run_jukebox,
+    run_perfect_icache,
+    run_pif,
+    run_reference,
+)
+
+__all__ = [
+    "RunConfig",
+    "SequenceResult",
+    "run_all_configs",
+    "run_baseline",
+    "run_jukebox",
+    "run_perfect_icache",
+    "run_pif",
+    "run_reference",
+]

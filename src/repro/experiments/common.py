@@ -1,0 +1,208 @@
+"""Shared drivers for the per-figure/table experiments.
+
+Every evaluation experiment follows the paper's protocol (Secs. 4.2, 5.2):
+a function instance is invoked repeatedly; the first ``warmup`` invocations
+establish steady state (the gem5 checkpoint + first recorded metadata) and
+the remaining invocations are measured.  The three standard configurations:
+
+* **reference**  -- back-to-back invocations with warm state;
+* **baseline**   -- all microarchitectural state flushed between
+  invocations (the lukewarm/interleaved baseline);
+* **jukebox**    -- the baseline plus Jukebox record/replay;
+* **perfect**    -- the baseline with an infinite magic I-cache that
+  persists across invocations (upper bound);
+* **pif** / **pif-ideal** -- the baseline plus the PIF prefetcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.jukebox import Jukebox, JukeboxInvocationReport
+from repro.core.pif import PIF, PIFParams
+from repro.errors import ConfigurationError
+from repro.sim.core import InvocationResult, LukewarmCore
+from repro.sim.params import MachineParams
+from repro.workloads.function import FunctionModel
+from repro.workloads.profiles import FunctionProfile
+from repro.workloads.trace import InvocationTrace
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Controls experiment scale.
+
+    ``instruction_scale`` shrinks per-invocation instruction counts (reuse
+    depth) without changing footprints; benchmarks use ``fast()`` to keep
+    wall-clock time low while preserving every result's shape.
+    """
+
+    invocations: int = 7
+    warmup: int = 2
+    seed: int = 1
+    instruction_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.invocations <= self.warmup:
+            raise ConfigurationError(
+                f"need more invocations ({self.invocations}) than warmup "
+                f"({self.warmup})"
+            )
+
+    @staticmethod
+    def fast() -> "RunConfig":
+        """Reduced-scale configuration for benchmarks and tests."""
+        return RunConfig(invocations=4, warmup=1, instruction_scale=0.35)
+
+    @staticmethod
+    def full() -> "RunConfig":
+        """Full-scale configuration for EXPERIMENTS.md numbers."""
+        return RunConfig(invocations=8, warmup=2, instruction_scale=1.0)
+
+
+@dataclass
+class SequenceResult:
+    """Measured invocations of one configuration plus Jukebox reports."""
+
+    results: List[InvocationResult]
+    jukebox_reports: List[JukeboxInvocationReport] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> float:
+        return sum(r.cycles for r in self.results)
+
+    @property
+    def instructions(self) -> int:
+        return sum(r.instructions for r in self.results)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / max(1, self.instructions)
+
+    def mean_mpki(self, level: str, kind: str = "all") -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.mpki(level, kind) for r in self.results) / len(self.results)
+
+
+def make_model(profile: FunctionProfile, cfg: RunConfig) -> FunctionModel:
+    """Build the (possibly scaled) trace generator for one function."""
+    if cfg.instruction_scale != 1.0:
+        profile = profile.scaled(cfg.instruction_scale)
+    return FunctionModel(profile, seed=cfg.seed)
+
+
+def make_traces(profile: FunctionProfile, cfg: RunConfig) -> List[InvocationTrace]:
+    model = make_model(profile, cfg)
+    return [model.invocation_trace(i) for i in range(cfg.invocations)]
+
+
+def _measure(core: LukewarmCore, traces: List[InvocationTrace], cfg: RunConfig,
+             flush: bool, jukebox: Optional[Jukebox] = None,
+             pif: Optional[PIF] = None) -> SequenceResult:
+    measured: List[InvocationResult] = []
+    reports: List[JukeboxInvocationReport] = []
+    for i, trace in enumerate(traces):
+        if flush:
+            core.flush_microarch_state()
+            if pif is not None:
+                pif.flush()
+        if jukebox is not None:
+            jukebox.begin_invocation(core.hierarchy)
+        result = core.run(trace)
+        if jukebox is not None:
+            report = jukebox.end_invocation(core.hierarchy, result)
+            if i >= cfg.warmup:
+                reports.append(report)
+        if i >= cfg.warmup:
+            measured.append(result)
+    return SequenceResult(results=measured, jukebox_reports=reports)
+
+
+def run_reference(profile: FunctionProfile, machine: MachineParams,
+                  cfg: RunConfig) -> SequenceResult:
+    """Back-to-back warm invocations on an otherwise idle core."""
+    core = LukewarmCore(machine)
+    return _measure(core, make_traces(profile, cfg), cfg, flush=False)
+
+
+def run_baseline(profile: FunctionProfile, machine: MachineParams,
+                 cfg: RunConfig) -> SequenceResult:
+    """The lukewarm baseline: full state flush between invocations."""
+    core = LukewarmCore(machine)
+    return _measure(core, make_traces(profile, cfg), cfg, flush=True)
+
+
+def run_jukebox(profile: FunctionProfile, machine: MachineParams,
+                cfg: RunConfig) -> SequenceResult:
+    """Baseline plus Jukebox record/replay."""
+    core = LukewarmCore(machine)
+    jukebox = Jukebox(machine.jukebox)
+    return _measure(core, make_traces(profile, cfg), cfg, flush=True,
+                    jukebox=jukebox)
+
+
+def run_perfect_icache(profile: FunctionProfile, machine: MachineParams,
+                       cfg: RunConfig) -> SequenceResult:
+    """Baseline with an infinite, flush-surviving L1-I (upper bound)."""
+    core = LukewarmCore(machine)
+    core.hierarchy.perfect_icache = True
+    return _measure(core, make_traces(profile, cfg), cfg, flush=True)
+
+
+def run_pif(profile: FunctionProfile, machine: MachineParams, cfg: RunConfig,
+            params: PIFParams,
+            with_jukebox: bool = False) -> SequenceResult:
+    """Baseline plus PIF (optionally combined with Jukebox, Fig. 13)."""
+    core = LukewarmCore(machine)
+    pif = PIF(params, core.hierarchy)
+    if not with_jukebox:
+        core.hierarchy.record_hook = pif
+        return _measure(core, make_traces(profile, cfg), cfg, flush=True,
+                        pif=pif)
+    # Combined JB + PIF: PIF observes fetches through a forwarding hook
+    # while Jukebox owns the L2-miss record stream.
+    jukebox = Jukebox(machine.jukebox)
+    traces = make_traces(profile, cfg)
+    measured: List[InvocationResult] = []
+    reports: List[JukeboxInvocationReport] = []
+    for i, trace in enumerate(traces):
+        core.flush_microarch_state()
+        pif.flush()
+        jukebox.begin_invocation(core.hierarchy)
+        jb_recorder = core.hierarchy.record_hook
+        core.hierarchy.record_hook = _TeeHook(jb_recorder, pif)
+        result = core.run(trace)
+        core.hierarchy.record_hook = jb_recorder
+        report = jukebox.end_invocation(core.hierarchy, result)
+        if i >= cfg.warmup:
+            measured.append(result)
+            reports.append(report)
+    return SequenceResult(results=measured, jukebox_reports=reports)
+
+
+class _TeeHook:
+    """Forward record-hook events to two consumers (JB + PIF combo)."""
+
+    def __init__(self, first, second) -> None:
+        self._hooks = [h for h in (first, second) if h is not None]
+
+    def on_fetch(self, vaddr: int, cycle: float) -> None:
+        for hook in self._hooks:
+            hook.on_fetch(vaddr, cycle)
+
+    def on_l2_inst_miss(self, vaddr: int, cycle: float) -> None:
+        for hook in self._hooks:
+            hook.on_l2_inst_miss(vaddr, cycle)
+
+
+def run_all_configs(profile: FunctionProfile, machine: MachineParams,
+                    cfg: RunConfig) -> Dict[str, SequenceResult]:
+    """Reference, baseline, Jukebox and perfect-I$ for one function."""
+    return {
+        "reference": run_reference(profile, machine, cfg),
+        "baseline": run_baseline(profile, machine, cfg),
+        "jukebox": run_jukebox(profile, machine, cfg),
+        "perfect": run_perfect_icache(profile, machine, cfg),
+    }

@@ -1,0 +1,113 @@
+"""Extension: server-level throughput improvement from Jukebox.
+
+The abstract claims the 18.7% per-invocation speedup "translates into a
+corresponding throughput improvement": a lukewarm server is CPU-bound on
+invocation processing, so cutting cycles per invocation raises the maximum
+sustainable invocation rate proportionally.
+
+This experiment quantifies that claim end-to-end: it measures steady-state
+cycles per invocation for the whole suite in the lukewarm baseline and with
+Jukebox, converts them into invocations/second for an n-core server at the
+simulated clock, and reports the capacity uplift (plus the service-time
+side of the latency story).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.metrics import geomean
+from repro.analysis.report import format_table
+from repro.experiments.common import RunConfig, run_baseline, run_jukebox
+from repro.sim.params import MachineParams, skylake
+
+
+@dataclass
+class ThroughputEntry:
+    abbrev: str
+    baseline_cycles: float
+    jukebox_cycles: float
+
+    def rate_per_core(self, freq_ghz: float, which: str) -> float:
+        """Sustainable invocations/second on one core."""
+        cycles = self.baseline_cycles if which == "baseline" \
+            else self.jukebox_cycles
+        return freq_ghz * 1e9 / cycles
+
+    @property
+    def capacity_uplift(self) -> float:
+        return self.baseline_cycles / self.jukebox_cycles - 1.0
+
+    def service_time_us(self, freq_ghz: float, which: str) -> float:
+        cycles = self.baseline_cycles if which == "baseline" \
+            else self.jukebox_cycles
+        return cycles / (freq_ghz * 1e3)
+
+
+@dataclass
+class ThroughputResult:
+    cores: int
+    freq_ghz: float
+    entries: List[ThroughputEntry] = field(default_factory=list)
+
+    @property
+    def geomean_uplift(self) -> float:
+        return geomean([1.0 + e.capacity_uplift for e in self.entries]) - 1.0
+
+    def server_rate(self, which: str) -> float:
+        """Aggregate invocations/second with cores spread evenly over the
+        suite (each function gets cores/len share)."""
+        if not self.entries:
+            return 0.0
+        share = self.cores / len(self.entries)
+        return sum(e.rate_per_core(self.freq_ghz, which) * share
+                   for e in self.entries)
+
+
+def run(cfg: Optional[RunConfig] = None,
+        machine: Optional[MachineParams] = None,
+        functions: Optional[Sequence[str]] = None,
+        cores: int = 10) -> ThroughputResult:
+    from repro.workloads.suite import suite_subset
+
+    cfg = cfg if cfg is not None else RunConfig()
+    machine = machine if machine is not None else skylake()
+    result = ThroughputResult(cores=cores, freq_ghz=machine.core.freq_ghz)
+    for profile in suite_subset(list(functions) if functions else None):
+        base = run_baseline(profile, machine, cfg)
+        jb = run_jukebox(profile, machine, cfg)
+        n = len(base.results)
+        result.entries.append(ThroughputEntry(
+            abbrev=profile.abbrev,
+            baseline_cycles=base.cycles / n,
+            jukebox_cycles=jb.cycles / n,
+        ))
+    return result
+
+
+def render(result: ThroughputResult) -> str:
+    freq = result.freq_ghz
+    rows = []
+    for e in result.entries:
+        rows.append([
+            e.abbrev,
+            f"{e.service_time_us(freq, 'baseline'):.0f}us",
+            f"{e.service_time_us(freq, 'jukebox'):.0f}us",
+            f"{e.rate_per_core(freq, 'baseline'):,.0f}/s",
+            f"{e.rate_per_core(freq, 'jukebox'):,.0f}/s",
+            f"{e.capacity_uplift * 100:+.1f}%",
+        ])
+    rows.append(["GEOMEAN", "", "", "", "",
+                 f"{result.geomean_uplift * 100:+.1f}%"])
+    table = format_table(
+        ["Function", "svc time base", "svc time JB",
+         "rate/core base", "rate/core JB", "capacity"],
+        rows,
+        title=(f"Extension: lukewarm server capacity with Jukebox "
+               f"({result.cores} cores @ {freq}GHz)"))
+    summary = (f"Server-wide: {result.server_rate('baseline'):,.0f} -> "
+               f"{result.server_rate('jukebox'):,.0f} invocations/s "
+               f"({result.geomean_uplift * 100:+.1f}% geomean capacity; the "
+               f"abstract's 'corresponding throughput improvement')")
+    return f"{table}\n\n{summary}"

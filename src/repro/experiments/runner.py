@@ -1,0 +1,137 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage (installed as ``lukewarm-repro``)::
+
+    lukewarm-repro list
+    lukewarm-repro fig10                 # full scale
+    lukewarm-repro fig10 --fast          # reduced scale
+    lukewarm-repro fig01 fig02 --fast
+    lukewarm-repro all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from repro.experiments import (
+    ext_throughput,
+    fig01_iat,
+    fig02_topdown,
+    fig03_frontend,
+    fig04_cpi_breakdown,
+    fig05_mpki,
+    fig06_footprints,
+    fig08_metadata,
+    fig09_storage,
+    fig10_speedup,
+    fig11_coverage,
+    fig12_bandwidth,
+    fig13_pif,
+    table1_config,
+    table2_workloads,
+    table3_mpki_reduction,
+)
+from repro.experiments.common import RunConfig
+
+
+class Experiment(NamedTuple):
+    name: str
+    description: str
+    run: Callable
+    render: Callable
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "fig01": Experiment("fig01", "CPI vs. inter-arrival time",
+                        fig01_iat.run, fig01_iat.render),
+    "fig02": Experiment("fig02", "Top-Down CPI stacks",
+                        fig02_topdown.run, fig02_topdown.render),
+    "fig03": Experiment("fig03", "front-end stall split",
+                        fig03_frontend.run, fig03_frontend.render),
+    "fig04": Experiment("fig04", "mean CPI breakdown",
+                        fig04_cpi_breakdown.run, fig04_cpi_breakdown.render),
+    "fig05": Experiment("fig05", "L2/L3 MPKI breakdowns",
+                        fig05_mpki.run, fig05_mpki.render),
+    "fig06": Experiment("fig06", "footprints and commonality",
+                        fig06_footprints.run, fig06_footprints.render),
+    "fig08": Experiment("fig08", "metadata size vs. region size",
+                        fig08_metadata.run, fig08_metadata.render),
+    "fig09": Experiment("fig09", "speedup vs. metadata budget",
+                        fig09_storage.run, fig09_storage.render),
+    "fig10": Experiment("fig10", "main speedup result",
+                        fig10_speedup.run, fig10_speedup.render),
+    "fig11": Experiment("fig11", "miss coverage",
+                        fig11_coverage.run, fig11_coverage.render),
+    "fig12": Experiment("fig12", "memory-bandwidth overhead",
+                        fig12_bandwidth.run, fig12_bandwidth.render),
+    "fig13": Experiment("fig13", "PIF comparison",
+                        fig13_pif.run, fig13_pif.render),
+    "table1": Experiment("table1", "simulated processor parameters",
+                         table1_config.run, table1_config.render),
+    "table2": Experiment("table2", "function suite",
+                         table2_workloads.run, table2_workloads.render),
+    "table3": Experiment("table3", "MPKI reduction, Skylake vs. Broadwell",
+                         table3_mpki_reduction.run,
+                         table3_mpki_reduction.render),
+    "throughput": Experiment("throughput",
+                             "extension: server capacity uplift",
+                             ext_throughput.run, ext_throughput.render),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lukewarm-repro",
+        description=("Regenerate tables/figures from 'Lukewarm Serverless "
+                     "Functions' (ISCA 2022)"))
+    parser.add_argument("experiments", nargs="+",
+                        help="experiment names (see 'list'), or 'all'/'list'")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced scale (fewer invocations, scaled traces)")
+    parser.add_argument("--functions", nargs="*", default=None,
+                        help="restrict to these function abbreviations")
+    parser.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def run_experiment(name: str, cfg: RunConfig,
+                   functions: Optional[List[str]] = None) -> str:
+    """Run one experiment by name and return its rendered report."""
+    exp = EXPERIMENTS[name]
+    kwargs = {}
+    if functions:
+        kwargs["functions"] = functions
+    result = exp.run(cfg, **kwargs)
+    return exp.render(result)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = list(args.experiments)
+    if "list" in names:
+        for exp in EXPERIMENTS.values():
+            print(f"{exp.name:8s} {exp.description}")
+        return 0
+    if "all" in names:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    cfg = RunConfig.fast() if args.fast else RunConfig.full()
+    cfg = RunConfig(invocations=cfg.invocations, warmup=cfg.warmup,
+                    seed=args.seed, instruction_scale=cfg.instruction_scale)
+    for name in names:
+        started = time.time()
+        print(f"== {name}: {EXPERIMENTS[name].description} ==")
+        print(run_experiment(name, cfg, args.functions))
+        print(f"-- {name} done in {time.time() - started:.1f}s --\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

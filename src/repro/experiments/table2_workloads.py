@@ -1,0 +1,46 @@
+"""Table 2: the serverless function suite and its language runtimes.
+
+Regenerated from :data:`repro.workloads.suite.SUITE` together with the
+calibrated per-function properties this reproduction assigns to each
+function (footprint, instruction volume, loop-heaviness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.report import format_table
+from repro.workloads.profiles import FunctionProfile
+from repro.workloads.suite import SUITE
+
+
+@dataclass
+class Table2Result:
+    profiles: List[FunctionProfile]
+
+    def by_application(self) -> "dict[str, List[FunctionProfile]]":
+        grouped: "dict[str, List[FunctionProfile]]" = {}
+        for p in self.profiles:
+            grouped.setdefault(p.application, []).append(p)
+        return grouped
+
+
+def run(cfg=None, machine=None, functions=None) -> Table2Result:
+    return Table2Result(profiles=list(SUITE))
+
+
+def render(result: Table2Result) -> str:
+    rows = []
+    for p in result.profiles:
+        rows.append([
+            p.name, p.abbrev, p.language, p.application,
+            f"{p.footprint_kb}KB", f"{p.instructions // 1000}k",
+            f"{p.loopiness:.2f}",
+        ])
+    return format_table(
+        ["Function", "Abbrev", "Runtime", "Application",
+         "I-footprint", "insts/invocation", "loopiness"],
+        rows,
+        title=("Table 2: serverless functions and their language runtimes "
+               "(P: Python, N: NodeJS, G: Go)"))

@@ -1,0 +1,76 @@
+"""Warm function instance state for the server-level model.
+
+An instance is a memory-resident container serving one function (Sec. 2.2).
+The server model tracks, per instance, everything needed to quantify
+interleaving: last-invocation time, invocation counts, the global
+invocation sequence number of its last run (for interleaving-degree
+measurement), and optional Jukebox metadata bookkeeping mirroring the
+per-process buffers of Sec. 3.4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.units import MB
+from repro.workloads.profiles import FunctionProfile
+
+
+@dataclass
+class WarmInstance:
+    """One warm (memory-resident) function instance."""
+
+    instance_id: str
+    profile: FunctionProfile
+    created_ms: float = 0.0
+    #: Core the instance last ran on (affects private-cache reuse).
+    last_core: Optional[int] = None
+    last_invocation_ms: Optional[float] = None
+    #: Global invocation sequence number of this instance's previous run.
+    last_global_seq: Optional[int] = None
+    invocations: int = 0
+    cold_starts: int = 0
+    #: Interleaving degrees observed (other invocations between two
+    #: consecutive invocations of this instance, Sec. 2.2).
+    interleave_degrees: List[int] = field(default_factory=list)
+    iats_ms: List[float] = field(default_factory=list)
+    #: Jukebox metadata resident in instance memory (two buffers).
+    jukebox_metadata_bytes: int = 0
+
+    @property
+    def memory_bytes(self) -> int:
+        """Resident memory: container + runtime footprint approximation.
+
+        70% of Lambda functions deploy with a 128-256MB limit (Sec. 1);
+        the *touched* resident set is far smaller.  We charge code +
+        data working set + a fixed runtime/container overhead.
+        """
+        runtime_overhead = 24 * MB
+        return (self.profile.footprint_bytes
+                + self.profile.data_ws_bytes
+                + runtime_overhead)
+
+    def record_invocation(self, now_ms: float, global_seq: int,
+                          core: int, cold: bool = False) -> None:
+        """Update bookkeeping for an invocation arriving at ``now_ms``."""
+        if self.last_invocation_ms is not None:
+            self.iats_ms.append(now_ms - self.last_invocation_ms)
+        if self.last_global_seq is not None:
+            self.interleave_degrees.append(
+                max(0, global_seq - self.last_global_seq - 1))
+        self.last_invocation_ms = now_ms
+        self.last_global_seq = global_seq
+        self.last_core = core
+        self.invocations += 1
+        if cold:
+            self.cold_starts += 1
+
+    def idle_ms(self, now_ms: float) -> float:
+        if self.last_invocation_ms is None:
+            return now_ms - self.created_ms
+        return now_ms - self.last_invocation_ms
+
+    def allocate_jukebox_metadata(self, per_buffer_bytes: int) -> None:
+        """Reserve the two per-instance metadata buffers (Sec. 3.4.1)."""
+        self.jukebox_metadata_bytes = 2 * per_buffer_bytes

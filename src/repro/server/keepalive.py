@@ -1,0 +1,75 @@
+"""Keep-alive policies for warm function instances.
+
+Providers keep idle instances warm for 5-60 minutes (Sec. 2.1, refs
+[36-38, 49]).  Two policies are provided:
+
+* :class:`FixedTTL` -- the industry default: evict an instance after a
+  fixed idle period (AWS ~5-7 min, Azure ~20+ min, Google up to an hour);
+* :class:`HistogramTTL` -- a simplified version of the hybrid policy from
+  Shahrad et al. (ATC'20): per-function, keep the instance alive for the
+  observed high-percentile IAT times a safety margin.
+
+All times are milliseconds.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+
+
+class KeepAlivePolicy(ABC):
+    """Decides how long an idle instance stays warm."""
+
+    @abstractmethod
+    def ttl_ms(self, function_id: str) -> float:
+        """Current keep-alive TTL for the given function."""
+
+    def observe_iat(self, function_id: str, iat_ms: float) -> None:
+        """Feed an observed inter-arrival time (adaptive policies)."""
+
+    def should_evict(self, function_id: str, idle_ms: float) -> bool:
+        return idle_ms > self.ttl_ms(function_id)
+
+
+class FixedTTL(KeepAlivePolicy):
+    """Evict after a fixed idle period."""
+
+    def __init__(self, ttl_minutes: float = 10.0) -> None:
+        if ttl_minutes <= 0:
+            raise ConfigurationError(f"TTL must be positive: {ttl_minutes}")
+        self._ttl_ms = ttl_minutes * 60_000.0
+
+    def ttl_ms(self, function_id: str) -> float:
+        return self._ttl_ms
+
+
+class HistogramTTL(KeepAlivePolicy):
+    """Adapt the TTL to each function's observed IAT distribution."""
+
+    def __init__(self, percentile: float = 99.0, margin: float = 1.2,
+                 default_ttl_minutes: float = 10.0,
+                 max_ttl_minutes: float = 60.0) -> None:
+        if not 0 < percentile <= 100:
+            raise ConfigurationError(f"percentile out of range: {percentile}")
+        if margin < 1.0:
+            raise ConfigurationError(f"margin must be >= 1: {margin}")
+        self.percentile = percentile
+        self.margin = margin
+        self._default_ms = default_ttl_minutes * 60_000.0
+        self._max_ms = max_ttl_minutes * 60_000.0
+        self._iats: Dict[str, List[float]] = {}
+
+    def observe_iat(self, function_id: str, iat_ms: float) -> None:
+        self._iats.setdefault(function_id, []).append(iat_ms)
+
+    def ttl_ms(self, function_id: str) -> float:
+        iats = self._iats.get(function_id)
+        if not iats or len(iats) < 4:
+            return self._default_ms
+        ordered = sorted(iats)
+        idx = min(len(ordered) - 1,
+                  int(len(ordered) * self.percentile / 100.0))
+        return min(self._max_ms, ordered[idx] * self.margin)

@@ -1,0 +1,190 @@
+"""Event-driven server-level model of interleaved warm instances.
+
+This is the substrate behind Sec. 2.2's occupancy arithmetic: hundreds to
+thousands of warm instances on one server, invocations arriving per
+instance at second-to-minute IATs, executions interleaving on a fixed pool
+of cores.  The model is invocation-granular (it does not run the core
+timing model for every co-tenant -- that is what the stressor abstraction
+is for); it measures:
+
+* interleaving degree between consecutive invocations of each instance;
+* warm / cold(start) invocation mix under a keep-alive policy;
+* per-core time occupancy and server memory pressure;
+* aggregate Jukebox metadata cost (the "32MB for a thousand functions"
+  headline of the abstract).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.server.instance import WarmInstance
+from repro.server.keepalive import FixedTTL, KeepAlivePolicy
+from repro.units import MB
+from repro.workloads.arrival import ArrivalProcess
+from repro.workloads.profiles import FunctionProfile
+
+
+@dataclass
+class ServerConfig:
+    """Server-level parameters (defaults match the xl170 node, Sec. 4.1)."""
+
+    cores: int = 10
+    memory_gb: int = 64
+    #: Mean service time per invocation in milliseconds.
+    service_time_ms: float = 1.0
+    #: Per-instance Jukebox metadata (two buffers x 16KB = 32KB).
+    jukebox_metadata_bytes_per_instance: int = 32 * 1024
+
+
+@dataclass
+class ServerStats:
+    """Aggregate results of one server simulation."""
+
+    simulated_ms: float = 0.0
+    invocations: int = 0
+    cold_starts: int = 0
+    evictions: int = 0
+    interleave_degrees: List[int] = field(default_factory=list)
+    iats_ms: List[float] = field(default_factory=list)
+    peak_warm_instances: int = 0
+    peak_memory_bytes: int = 0
+    jukebox_metadata_bytes: int = 0
+
+    @property
+    def warm_fraction(self) -> float:
+        if self.invocations == 0:
+            return 0.0
+        return 1.0 - self.cold_starts / self.invocations
+
+    def mean_interleaving(self) -> float:
+        if not self.interleave_degrees:
+            return 0.0
+        return float(np.mean(self.interleave_degrees))
+
+    def median_interleaving(self) -> float:
+        if not self.interleave_degrees:
+            return 0.0
+        return float(np.median(self.interleave_degrees))
+
+    def interleaving_percentile(self, q: float) -> float:
+        if not self.interleave_degrees:
+            return 0.0
+        return float(np.percentile(self.interleave_degrees, q))
+
+
+class ServerSimulator:
+    """Discrete-event simulation of invocation traffic on one server."""
+
+    def __init__(self, config: Optional[ServerConfig] = None,
+                 keepalive: Optional[KeepAlivePolicy] = None,
+                 seed: int = 0) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.keepalive = keepalive if keepalive is not None else FixedTTL(10.0)
+        self._rng = np.random.default_rng(seed)
+        self._instances: Dict[str, WarmInstance] = {}
+        self._arrivals: Dict[str, ArrivalProcess] = {}
+        self._counter = itertools.count()
+        self.stats = ServerStats()
+
+    # ------------------------------------------------------------------
+
+    def add_instance(self, profile: FunctionProfile,
+                     arrivals: ArrivalProcess,
+                     instance_id: Optional[str] = None) -> WarmInstance:
+        """Register one function instance with its arrival process."""
+        if instance_id is None:
+            instance_id = f"{profile.abbrev}#{len(self._instances)}"
+        if instance_id in self._instances:
+            raise ConfigurationError(f"duplicate instance id {instance_id!r}")
+        inst = WarmInstance(instance_id=instance_id, profile=profile)
+        inst.allocate_jukebox_metadata(
+            self.config.jukebox_metadata_bytes_per_instance // 2)
+        self._instances[instance_id] = inst
+        self._arrivals[instance_id] = arrivals
+        return inst
+
+    def populate(self, profiles: List[FunctionProfile],
+                 instances: int,
+                 arrival_factory) -> None:
+        """Add ``instances`` instances round-robin over ``profiles``.
+
+        ``arrival_factory(index, profile) -> ArrivalProcess``.
+        """
+        for i in range(instances):
+            profile = profiles[i % len(profiles)]
+            self.add_instance(profile, arrival_factory(i, profile))
+
+    # ------------------------------------------------------------------
+
+    def run(self, duration_ms: float) -> ServerStats:
+        """Simulate invocation traffic for ``duration_ms``."""
+        if duration_ms <= 0:
+            raise ConfigurationError(f"duration must be positive: {duration_ms}")
+        cfg = self.config
+        stats = self.stats
+        # Event heap of (time, tiebreak, instance_id).
+        heap: List[Tuple[float, int, str]] = []
+        for iid, proc in self._arrivals.items():
+            heapq.heappush(heap, (proc.next_iat(), next(self._counter), iid))
+
+        core_busy_until = [0.0] * cfg.cores
+        global_seq = 0
+        while heap:
+            now, _tb, iid = heapq.heappop(heap)
+            if now > duration_ms:
+                break
+            inst = self._instances[iid]
+            # Keep-alive check: was the instance evicted while idle?
+            idle = inst.idle_ms(now)
+            cold = False
+            if inst.invocations > 0 and self.keepalive.should_evict(iid, idle):
+                cold = True
+                stats.evictions += 1
+            if inst.last_invocation_ms is not None:
+                self.keepalive.observe_iat(iid, now - inst.last_invocation_ms)
+                stats.iats_ms.append(now - inst.last_invocation_ms)
+
+            # Least-loaded core placement.
+            core = int(np.argmin(core_busy_until))
+            service = self._rng.exponential(cfg.service_time_ms)
+            start = max(now, core_busy_until[core])
+            core_busy_until[core] = start + service
+
+            inst.record_invocation(now, global_seq, core, cold=cold)
+            global_seq += 1
+            stats.invocations += 1
+            if cold:
+                stats.cold_starts += 1
+            if inst.interleave_degrees:
+                stats.interleave_degrees.append(inst.interleave_degrees[-1])
+
+            nxt = now + self._arrivals[iid].next_iat()
+            if nxt <= duration_ms:
+                heapq.heappush(heap, (nxt, next(self._counter), iid))
+
+        stats.simulated_ms = duration_ms
+        stats.peak_warm_instances = len(self._instances)
+        stats.peak_memory_bytes = sum(
+            inst.memory_bytes for inst in self._instances.values())
+        stats.jukebox_metadata_bytes = sum(
+            inst.jukebox_metadata_bytes for inst in self._instances.values())
+        return stats
+
+    # ------------------------------------------------------------------
+
+    @property
+    def instances(self) -> Dict[str, WarmInstance]:
+        return dict(self._instances)
+
+    def memory_pressure(self) -> float:
+        """Fraction of server memory held by warm instances."""
+        total = self.config.memory_gb * 1024 * MB
+        used = sum(inst.memory_bytes for inst in self._instances.values())
+        return used / total

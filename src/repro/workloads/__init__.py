@@ -1,0 +1,46 @@
+"""Serverless function workload models (the containerized-function
+substrate, Table 2)."""
+
+from repro.workloads.function import FunctionModel
+from repro.workloads.layout import CodeLayout, CodeSegment, build_layout
+from repro.workloads.profiles import (
+    FunctionProfile,
+    LANG_GO,
+    LANG_NODEJS,
+    LANG_PYTHON,
+    LANGUAGES,
+)
+from repro.workloads.suite import (
+    BY_ABBREV,
+    REPRESENTATIVES,
+    SUITE,
+    build_suite,
+    get_profile,
+    suite_subset,
+)
+from repro.workloads.trace import (
+    InvocationTrace,
+    LoopSpec,
+    TraceBuilder,
+)
+
+__all__ = [
+    "BY_ABBREV",
+    "CodeLayout",
+    "CodeSegment",
+    "FunctionModel",
+    "FunctionProfile",
+    "InvocationTrace",
+    "LANG_GO",
+    "LANG_NODEJS",
+    "LANG_PYTHON",
+    "LANGUAGES",
+    "LoopSpec",
+    "REPRESENTATIVES",
+    "SUITE",
+    "TraceBuilder",
+    "build_layout",
+    "build_suite",
+    "get_profile",
+    "suite_subset",
+]

@@ -1,0 +1,113 @@
+"""Invocation inter-arrival-time (IAT) processes.
+
+Sec. 2.1/2.2: fewer than 5% of invocations to warm instances arrive less
+than one second apart; the vast majority of IATs lie between one second and
+a few minutes (Shahrad et al.'s Azure study).  These processes drive the
+server-level interleaving model and the Fig. 1 IAT sweep.
+
+All times are in **milliseconds**.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class ArrivalProcess(ABC):
+    """Generator of invocation inter-arrival times."""
+
+    @abstractmethod
+    def next_iat(self) -> float:
+        """Return the next inter-arrival time in milliseconds."""
+
+    @property
+    @abstractmethod
+    def mean_iat(self) -> float:
+        """The process's mean IAT in milliseconds."""
+
+    def arrivals(self, until_ms: float, start_ms: float = 0.0) -> Iterator[float]:
+        """Yield absolute arrival times up to ``until_ms``."""
+        t = start_ms
+        while True:
+            t += self.next_iat()
+            if t > until_ms:
+                return
+            yield t
+
+
+class FixedIAT(ArrivalProcess):
+    """Deterministic arrivals (the Fig. 1 function-under-test driver)."""
+
+    def __init__(self, iat_ms: float) -> None:
+        if iat_ms <= 0:
+            raise ConfigurationError(f"IAT must be positive, got {iat_ms}")
+        self._iat = float(iat_ms)
+
+    def next_iat(self) -> float:
+        return self._iat
+
+    @property
+    def mean_iat(self) -> float:
+        return self._iat
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals with the given rate."""
+
+    def __init__(self, mean_iat_ms: float, seed: int = 0) -> None:
+        if mean_iat_ms <= 0:
+            raise ConfigurationError(f"mean IAT must be positive: {mean_iat_ms}")
+        self._mean = float(mean_iat_ms)
+        self._rng = np.random.default_rng(seed)
+
+    def next_iat(self) -> float:
+        return float(self._rng.exponential(self._mean))
+
+    @property
+    def mean_iat(self) -> float:
+        return self._mean
+
+
+class LognormalArrivals(ArrivalProcess):
+    """Heavy-tailed arrivals; production IAT distributions are closer to
+    lognormal than exponential (bursts plus long quiet periods)."""
+
+    def __init__(self, mean_iat_ms: float, sigma: float = 1.0,
+                 seed: int = 0) -> None:
+        if mean_iat_ms <= 0:
+            raise ConfigurationError(f"mean IAT must be positive: {mean_iat_ms}")
+        if sigma <= 0:
+            raise ConfigurationError(f"sigma must be positive: {sigma}")
+        self._mean = float(mean_iat_ms)
+        self._sigma = float(sigma)
+        # Choose mu so the distribution mean equals mean_iat_ms.
+        self._mu = math.log(mean_iat_ms) - sigma * sigma / 2.0
+        self._rng = np.random.default_rng(seed)
+
+    def next_iat(self) -> float:
+        return float(self._rng.lognormal(self._mu, self._sigma))
+
+    @property
+    def mean_iat(self) -> float:
+        return self._mean
+
+
+def make_arrival_process(kind: str, mean_iat_ms: float,
+                         seed: int = 0,
+                         sigma: Optional[float] = None) -> ArrivalProcess:
+    """Factory used by the server experiments and CLI."""
+    if kind == "fixed":
+        return FixedIAT(mean_iat_ms)
+    if kind == "poisson":
+        return PoissonArrivals(mean_iat_ms, seed=seed)
+    if kind == "lognormal":
+        return LognormalArrivals(mean_iat_ms, sigma=sigma or 1.0, seed=seed)
+    raise ConfigurationError(
+        f"unknown arrival kind {kind!r}; expected fixed|poisson|lognormal"
+    )

@@ -1,0 +1,100 @@
+"""Trace serialization: persist invocation traces as ``.npz`` archives.
+
+Two use cases:
+
+* *reproducibility*: archive the exact traces behind a published number;
+* *interchange*: drive the simulator from traces produced by an external
+  tool (a real L1-I access trace reduced to this event format) instead of
+  the synthetic generator.
+
+The format stores the four event arrays, the loop table flattened into
+parallel arrays, and a small JSON header with versioning.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workloads.trace import InvocationTrace, LoopSpec
+
+FORMAT_VERSION = 1
+_PathLike = Union[str, pathlib.Path]
+
+
+def save_trace(trace: InvocationTrace, path: _PathLike) -> None:
+    """Write ``trace`` to ``path`` (``.npz``; compressed)."""
+    loop_blocks = np.asarray(
+        [b for spec in trace.loops for b in spec.blocks], dtype=np.int64)
+    loop_lens = np.asarray([len(spec.blocks) for spec in trace.loops],
+                           dtype=np.int64)
+    loop_iters = np.asarray([spec.iterations for spec in trace.loops],
+                            dtype=np.int64)
+    loop_insts = np.asarray([spec.insts_per_iteration for spec in trace.loops],
+                            dtype=np.int64)
+    loop_branches = np.asarray(
+        [spec.branches_per_iteration for spec in trace.loops], dtype=np.int64)
+    header = json.dumps({
+        "format": "repro-invocation-trace",
+        "version": FORMAT_VERSION,
+        "events": int(len(trace)),
+        "loops": len(trace.loops),
+        "instructions": int(trace.total_instructions),
+    })
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(header.encode("utf-8"), dtype=np.uint8),
+        kinds=trace.kinds,
+        addrs=trace.addrs,
+        args=trace.args,
+        args2=trace.args2,
+        loop_blocks=loop_blocks,
+        loop_lens=loop_lens,
+        loop_iters=loop_iters,
+        loop_insts=loop_insts,
+        loop_branches=loop_branches,
+    )
+
+
+def load_trace(path: _PathLike) -> InvocationTrace:
+    """Read a trace written by :func:`save_trace`."""
+    path = pathlib.Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as data:
+        try:
+            header = json.loads(bytes(data["header"]).decode("utf-8"))
+        except (KeyError, ValueError) as exc:
+            raise TraceError(f"{path}: missing or corrupt trace header") from exc
+        if header.get("format") != "repro-invocation-trace":
+            raise TraceError(f"{path}: not an invocation-trace archive")
+        if header.get("version") != FORMAT_VERSION:
+            raise TraceError(
+                f"{path}: unsupported trace version {header.get('version')}")
+        loops: List[LoopSpec] = []
+        cursor = 0
+        blocks = data["loop_blocks"]
+        for length, iters, insts, branches in zip(
+                data["loop_lens"], data["loop_iters"], data["loop_insts"],
+                data["loop_branches"]):
+            body = tuple(int(b) for b in blocks[cursor:cursor + int(length)])
+            cursor += int(length)
+            loops.append(LoopSpec(blocks=body, iterations=int(iters),
+                                  insts_per_iteration=int(insts),
+                                  branches_per_iteration=int(branches)))
+        trace = InvocationTrace(
+            kinds=data["kinds"].copy(),
+            addrs=data["addrs"].copy(),
+            args=data["args"].copy(),
+            args2=data["args2"].copy(),
+            loops=loops,
+        )
+    if trace.total_instructions != header["instructions"]:
+        raise TraceError(
+            f"{path}: instruction count mismatch "
+            f"({trace.total_instructions} != {header['instructions']})")
+    return trace

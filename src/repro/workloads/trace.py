@@ -1,0 +1,205 @@
+"""Invocation trace representation.
+
+An :class:`InvocationTrace` is the unit of work the simulator executes: the
+instruction-block / data-block / branch activity of *one invocation* of one
+serverless function (what gem5 would observe between gRPC request arrival
+and response, Sec. 4.2).
+
+Traces are compact: consecutive activity is aggregated so that a ~1M
+instruction invocation is represented by a few tens of thousands of events.
+Event kinds:
+
+``IFETCH``
+    A visit to one instruction cache block executing ``arg`` instructions
+    with ``arg2`` taken branches.  Cache behaviour is simulated exactly.
+``LOAD`` / ``STORE``
+    ``arg`` consecutive accesses to one data block (only the first can miss).
+``BRANCH``
+    An aggregate of ``arg`` dynamic executions of the *conditional branch
+    site* at ``addr`` whose taken probability is ``arg2``/255.  Direction
+    mispredicts are modeled analytically per site (see
+    :class:`repro.sim.core.LukewarmCore`).
+``LOOP``
+    ``arg`` = loop id into :attr:`InvocationTrace.loops`.  The loop body is
+    simulated through the hierarchy once; remaining iterations are charged
+    analytically (a tight loop resident in the L1-I cannot miss again).
+
+This aggregation is a *documented abstraction* (DESIGN.md Sec. 3): it keeps
+the Python simulator tractable while preserving the miss streams that drive
+the paper's results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.units import LINE_SIZE, block_addr
+
+IFETCH = 0
+LOAD = 1
+STORE = 2
+BRANCH = 3
+LOOP = 4
+
+KIND_NAMES = {IFETCH: "IFETCH", LOAD: "LOAD", STORE: "STORE",
+              BRANCH: "BRANCH", LOOP: "LOOP"}
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """A tight loop: ``iterations`` passes over ``blocks`` (byte addresses).
+
+    ``insts_per_iteration`` counts all instructions retired per pass;
+    ``branches_per_iteration`` is the number of (well-predicted) taken
+    branches per pass, used for fetch-bandwidth accounting.  The loop-back
+    branch itself mispredicts once, on exit.
+    """
+
+    blocks: Tuple[int, ...]
+    iterations: int
+    insts_per_iteration: int
+    branches_per_iteration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise TraceError(f"loop must iterate at least once: {self.iterations}")
+        if not self.blocks:
+            raise TraceError("loop body must contain at least one block")
+        if self.insts_per_iteration < 1:
+            raise TraceError("loop must retire at least one instruction per pass")
+
+    @property
+    def body_bytes(self) -> int:
+        return len(self.blocks) * LINE_SIZE
+
+    @property
+    def total_insts(self) -> int:
+        return self.iterations * self.insts_per_iteration
+
+
+@dataclass(eq=False)  # array fields make element-wise __eq__ a footgun
+class InvocationTrace:
+    """One invocation's activity as parallel event arrays plus a loop table."""
+
+    kinds: np.ndarray
+    addrs: np.ndarray
+    args: np.ndarray
+    args2: np.ndarray
+    loops: List[LoopSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        n = len(self.kinds)
+        if not (len(self.addrs) == len(self.args) == len(self.args2) == n):
+            raise TraceError("trace arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions retired by this invocation (including loop bodies)."""
+        insts = int(self.args[self.kinds == IFETCH].sum())
+        for idx in np.nonzero(self.kinds == LOOP)[0]:
+            insts += self.loops[int(self.args[idx])].total_insts
+        return insts
+
+    def instruction_blocks(self) -> "set[int]":
+        """Unique instruction cache block addresses touched (the footprint
+        measured in Fig. 6a)."""
+        blocks = {int(a) for a in self.addrs[self.kinds == IFETCH]}
+        for idx in np.nonzero(self.kinds == LOOP)[0]:
+            blocks.update(self.loops[int(self.args[idx])].blocks)
+        return blocks
+
+    def instruction_footprint_bytes(self) -> int:
+        """Instruction footprint in bytes at cache-block granularity."""
+        return len(self.instruction_blocks()) * LINE_SIZE
+
+    def data_blocks(self) -> "set[int]":
+        """Unique data block addresses touched."""
+        mask = (self.kinds == LOAD) | (self.kinds == STORE)
+        return {int(a) for a in self.addrs[mask]}
+
+    def events(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Iterate ``(kind, addr, arg, arg2)`` tuples (test/debug helper)."""
+        for i in range(len(self.kinds)):
+            yield (int(self.kinds[i]), int(self.addrs[i]),
+                   int(self.args[i]), int(self.args2[i]))
+
+
+class TraceBuilder:
+    """Incrementally build an :class:`InvocationTrace`."""
+
+    def __init__(self) -> None:
+        self._kinds: List[int] = []
+        self._addrs: List[int] = []
+        self._args: List[int] = []
+        self._args2: List[int] = []
+        self._loops: List[LoopSpec] = []
+
+    def fetch(self, addr: int, insts: int, taken_branches: int = 0) -> None:
+        """Visit one instruction block, retiring ``insts`` instructions."""
+        if insts < 1:
+            raise TraceError(f"IFETCH must retire at least one instruction ({insts})")
+        self._kinds.append(IFETCH)
+        self._addrs.append(block_addr(addr))
+        self._args.append(insts)
+        self._args2.append(taken_branches)
+
+    def load(self, addr: int, count: int = 1) -> None:
+        """``count`` consecutive loads to one data block."""
+        self._append_data(LOAD, addr, count)
+
+    def store(self, addr: int, count: int = 1) -> None:
+        """``count`` consecutive stores to one data block."""
+        self._append_data(STORE, addr, count)
+
+    def _append_data(self, kind: int, addr: int, count: int) -> None:
+        if count < 1:
+            raise TraceError(f"data event needs a positive count ({count})")
+        self._kinds.append(kind)
+        self._addrs.append(block_addr(addr))
+        self._args.append(count)
+        self._args2.append(0)
+
+    def branch_site(self, pc: int, executions: int, taken_prob: float) -> None:
+        """Aggregate ``executions`` dynamic branches at conditional site ``pc``."""
+        if executions < 1:
+            raise TraceError("branch site needs a positive execution count")
+        if not 0.0 <= taken_prob <= 1.0:
+            raise TraceError(f"taken probability out of range: {taken_prob}")
+        self._kinds.append(BRANCH)
+        self._addrs.append(pc)
+        self._args.append(executions)
+        self._args2.append(int(round(taken_prob * 255)))
+
+    def loop(self, spec: LoopSpec) -> None:
+        """Append a tight loop."""
+        self._kinds.append(LOOP)
+        self._addrs.append(spec.blocks[0])
+        self._args.append(len(self._loops))
+        self._args2.append(0)
+        self._loops.append(spec)
+
+    def extend_walk(self, blocks: Sequence[int], insts_per_block: int,
+                    taken_branches_per_block: int = 1) -> None:
+        """Visit ``blocks`` in order, a common straight-line-code idiom."""
+        for addr in blocks:
+            self.fetch(addr, insts_per_block, taken_branches_per_block)
+
+    def build(self) -> InvocationTrace:
+        """Freeze the builder into an immutable-ish trace."""
+        return InvocationTrace(
+            kinds=np.asarray(self._kinds, dtype=np.uint8),
+            addrs=np.asarray(self._addrs, dtype=np.int64),
+            args=np.asarray(self._args, dtype=np.int64),
+            args2=np.asarray(self._args2, dtype=np.int64),
+            loops=list(self._loops),
+        )
+
+    def __len__(self) -> int:
+        return len(self._kinds)

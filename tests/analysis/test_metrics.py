@@ -1,0 +1,127 @@
+"""Tests for analysis metrics, including Jaccard properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.metrics import (
+    geomean,
+    geomean_speedup,
+    jaccard_index,
+    mpki,
+    pairwise_jaccard,
+    percent_change,
+    speedup,
+    summarize_distribution,
+)
+from repro.errors import ConfigurationError
+
+sets = st.sets(st.integers(min_value=0, max_value=60), max_size=30)
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard_index({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_index({1}, {2}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_index({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_empty_sets_identical(self):
+        assert jaccard_index(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard_index({1}, set()) == 0.0
+
+    @settings(max_examples=50)
+    @given(sets, sets)
+    def test_symmetric(self, a, b):
+        assert jaccard_index(a, b) == jaccard_index(b, a)
+
+    @settings(max_examples=50)
+    @given(sets, sets)
+    def test_bounded(self, a, b):
+        assert 0.0 <= jaccard_index(a, b) <= 1.0
+
+    @settings(max_examples=50)
+    @given(sets)
+    def test_self_similarity(self, a):
+        assert jaccard_index(a, a) == 1.0
+
+    @settings(max_examples=50)
+    @given(sets, sets)
+    def test_subset_equals_ratio(self, a, b):
+        both = a | b
+        if both:
+            assert jaccard_index(a, both) == pytest.approx(len(a) / len(both))
+
+    def test_pairwise_count(self):
+        """25 invocations -> 300 pairs (Sec. 2.5)."""
+        footprints = [{i} for i in range(25)]
+        assert len(pairwise_jaccard(footprints)) == 300
+
+
+class TestSpeedup:
+    def test_definition(self):
+        assert speedup(1187.0, 1000.0) == pytest.approx(0.187)
+
+    def test_slowdown_is_negative(self):
+        assert speedup(900.0, 1000.0) < 0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            speedup(100.0, 0.0)
+
+
+class TestGeomean:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_speedup_roundtrip(self):
+        assert geomean_speedup([0.1, 0.1]) == pytest.approx(0.1)
+
+    def test_geomean_speedup_mixes(self):
+        result = geomean_speedup([0.0, 0.21])
+        assert 0.0 < result < 0.21
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            geomean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            geomean([1.0, 0.0])
+
+    @settings(max_examples=40)
+    @given(st.lists(st.floats(min_value=0.1, max_value=10), min_size=1,
+                    max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) <= g * (1 + 1e-9)
+        assert g <= max(values) * (1 + 1e-9)
+
+
+class TestMisc:
+    def test_mpki(self):
+        assert mpki(50, 1000) == 50.0
+        assert mpki(50, 0) == 0.0
+
+    def test_percent_change_reduction(self):
+        assert percent_change(100, 26) == pytest.approx(-74.0)
+
+    def test_percent_change_zero_base(self):
+        assert percent_change(0, 10) == 0.0
+
+    def test_summarize_distribution(self):
+        summary = summarize_distribution([1.0, 2.0, 3.0, 10.0])
+        assert summary["min"] == 1.0
+        assert summary["max"] == 10.0
+        assert summary["mean"] == 4.0
+        assert summary["median"] == 2.5
+
+    def test_summarize_empty(self):
+        assert summarize_distribution([])["mean"] == 0.0
+
+    def test_summarize_odd_median(self):
+        assert summarize_distribution([3.0, 1.0, 2.0])["median"] == 2.0

@@ -1,0 +1,79 @@
+"""Tests for the shared experiment drivers."""
+
+import pytest
+
+from repro.core.pif import PIFParams, pif_ideal_params
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    RunConfig,
+    run_all_configs,
+    run_baseline,
+    run_jukebox,
+    run_perfect_icache,
+    run_pif,
+    run_reference,
+)
+from repro.sim.params import skylake
+
+CFG = RunConfig(invocations=3, warmup=1)
+
+
+class TestRunConfig:
+    def test_rejects_warmup_ge_invocations(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(invocations=2, warmup=2)
+
+    def test_fast_preset_is_scaled(self):
+        fast = RunConfig.fast()
+        assert fast.instruction_scale < 1.0
+        assert fast.invocations > fast.warmup
+
+    def test_full_preset(self):
+        full = RunConfig.full()
+        assert full.instruction_scale == 1.0
+
+
+class TestDrivers:
+    def test_reference_faster_than_baseline(self, tiny_profile):
+        m = skylake()
+        ref = run_reference(tiny_profile, m, CFG)
+        base = run_baseline(tiny_profile, m, CFG)
+        assert ref.cycles < base.cycles
+        assert ref.instructions == base.instructions
+
+    def test_measured_count_respects_warmup(self, tiny_profile):
+        seq = run_reference(tiny_profile, skylake(), CFG)
+        assert len(seq.results) == CFG.invocations - CFG.warmup
+
+    def test_jukebox_between_baseline_and_perfect(self, tiny_profile):
+        m = skylake()
+        base = run_baseline(tiny_profile, m, CFG)
+        jb = run_jukebox(tiny_profile, m, CFG)
+        perfect = run_perfect_icache(tiny_profile, m, CFG)
+        assert perfect.cycles < jb.cycles < base.cycles
+
+    def test_jukebox_reports_collected(self, tiny_profile):
+        jb = run_jukebox(tiny_profile, skylake(), CFG)
+        assert len(jb.jukebox_reports) == CFG.invocations - CFG.warmup
+        assert all(r.replay.lines_prefetched > 0 for r in jb.jukebox_reports)
+
+    def test_pif_runs(self, tiny_profile):
+        seq = run_pif(tiny_profile, skylake(), CFG, PIFParams())
+        assert seq.cycles > 0
+
+    def test_combined_jukebox_pif(self, tiny_profile):
+        m = skylake()
+        base = run_baseline(tiny_profile, m, CFG)
+        combo = run_pif(tiny_profile, m, CFG, pif_ideal_params(),
+                        with_jukebox=True)
+        assert combo.cycles < base.cycles
+        assert combo.jukebox_reports
+
+    def test_run_all_configs_keys(self, tiny_profile):
+        results = run_all_configs(tiny_profile, skylake(), CFG)
+        assert set(results) == {"reference", "baseline", "jukebox", "perfect"}
+
+    def test_sequence_result_helpers(self, tiny_profile):
+        seq = run_baseline(tiny_profile, skylake(), CFG)
+        assert seq.cpi == pytest.approx(seq.cycles / seq.instructions)
+        assert seq.mean_mpki("l2", "inst") > 0

@@ -1,0 +1,42 @@
+"""Tests for the throughput extension experiment."""
+
+import pytest
+
+from repro.experiments import ext_throughput
+from repro.experiments.common import RunConfig
+
+MICRO = RunConfig(invocations=3, warmup=1, instruction_scale=0.15)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_throughput.run(MICRO, functions=["Auth-G", "ProdL-G"])
+
+
+class TestThroughput:
+    def test_uplift_positive(self, result):
+        assert result.geomean_uplift > 0.03
+        for e in result.entries:
+            assert e.capacity_uplift > 0
+
+    def test_rates_consistent_with_cycles(self, result):
+        e = result.entries[0]
+        ratio = (e.rate_per_core(result.freq_ghz, "jukebox")
+                 / e.rate_per_core(result.freq_ghz, "baseline"))
+        assert ratio == pytest.approx(1.0 + e.capacity_uplift)
+
+    def test_server_rate_scales_with_cores(self):
+        r = ext_throughput.run(MICRO, functions=["Auth-G"], cores=20)
+        r2 = ext_throughput.run(MICRO, functions=["Auth-G"], cores=10)
+        assert r.server_rate("baseline") == pytest.approx(
+            2 * r2.server_rate("baseline"))
+
+    def test_service_time_microseconds_plausible(self, result):
+        """Short-running functions: tens to hundreds of microseconds at
+        the micro trace scale."""
+        for e in result.entries:
+            assert 5 < e.service_time_us(result.freq_ghz, "baseline") < 2000
+
+    def test_render(self, result):
+        out = ext_throughput.render(result)
+        assert "capacity" in out and "GEOMEAN" in out

@@ -1,0 +1,68 @@
+"""Tests for the declared reproduction bands."""
+
+import pytest
+
+from repro.experiments.paper_bands import BANDS, Band, verify
+
+
+class TestBandDefinitions:
+    def test_paper_values_inside_their_own_bands_where_expected(self):
+        """A band should generally contain the paper's value; exceptions
+        are deliberate (documented in EXPERIMENTS.md)."""
+        exceptions = set()
+        for key, band in BANDS.items():
+            if key in exceptions:
+                continue
+            assert band.low <= band.paper_value <= band.high, key
+
+    def test_bands_are_well_formed(self):
+        for band in BANDS.values():
+            assert band.low <= band.high, band.key
+            assert band.description
+            assert band.figure
+
+    def test_every_figure_with_measurements_is_covered(self):
+        figures = {band.figure for band in BANDS.values()}
+        for expected in ("Fig. 1", "Fig. 2", "Fig. 4", "Fig. 5b", "Fig. 6a",
+                         "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11", "Fig. 12",
+                         "Fig. 13", "Table 3"):
+            assert expected in figures
+
+    def test_headline_numbers_declared(self):
+        assert BANDS["fig10.jukebox_geomean"].paper_value == 0.187
+        assert BANDS["fig10.perfect_geomean"].paper_value == 0.31
+        assert BANDS["fig4.fetch_latency_share"].paper_value == 0.56
+
+
+class TestBandChecks:
+    def test_check_inside(self):
+        band = Band("k", "F", "d", 1.0, 0.5, 1.5)
+        assert band.check(1.2)
+        assert not band.check(1.6)
+
+    def test_describe_includes_status(self):
+        band = Band("k", "F", "d", 1.0, 0.5, 1.5, unit="x")
+        assert "OK" in band.describe(1.0)
+        assert "OUT OF BAND" in band.describe(9.0)
+
+
+class TestVerify:
+    def test_verify_pass_and_fail(self):
+        report = verify({
+            "fig10.jukebox_geomean": 0.19,   # in band
+            "fig10.perfect_geomean": 0.95,   # out of band
+        })
+        assert report.passed == ["fig10.jukebox_geomean"]
+        assert report.failed == ["fig10.perfect_geomean"]
+        assert not report.all_passed
+        assert "OUT OF BAND" in report.render()
+
+    def test_verify_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            verify({"fig99.bogus": 1.0})
+
+    def test_verify_subset_of_keys(self):
+        report = verify({"fig10.jukebox_geomean": 0.19},
+                        keys=["fig10.jukebox_geomean",
+                              "fig10.perfect_geomean"])
+        assert report.checked == ["fig10.jukebox_geomean"]

@@ -1,0 +1,52 @@
+"""Tests for the lukewarm-repro CLI."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, build_parser, main, run_experiment
+from repro.experiments.common import RunConfig
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {f"fig{n:02d}" for n in (1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13)}
+        expected |= {"table1", "table2", "table3", "throughput"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_every_experiment_has_run_and_render(self):
+        for exp in EXPERIMENTS.values():
+            assert callable(exp.run)
+            assert callable(exp.render)
+            assert exp.description
+
+
+class TestParser:
+    def test_parses_names_and_flags(self):
+        args = build_parser().parse_args(["fig10", "--fast", "--seed", "3"])
+        assert args.experiments == ["fig10"]
+        assert args.fast
+        assert args.seed == 3
+
+    def test_functions_filter(self):
+        args = build_parser().parse_args(
+            ["fig10", "--functions", "Auth-G", "Pay-N"])
+        assert args.functions == ["Auth-G", "Pay-N"]
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "table3" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_run_experiment_helper(self):
+        cfg = RunConfig(invocations=3, warmup=1, instruction_scale=0.15)
+        out = run_experiment("fig06", cfg, functions=["Auth-G"])
+        assert "Figure 6a" in out

@@ -1,0 +1,124 @@
+"""Tests for dynamic per-function metadata sizing."""
+
+import pytest
+
+from repro.core.jukebox import JukeboxInvocationReport
+from repro.core.replayer import ReplayStats
+from repro.core.sizing import MetadataSizer
+from repro.errors import ConfigurationError
+from repro.units import KB, PAGE_SIZE
+
+
+def report(recorded_bytes, dropped=0):
+    return JukeboxInvocationReport(
+        replay=ReplayStats(),
+        recorded_entries=recorded_bytes // 7,
+        recorded_bytes=recorded_bytes,
+        recorded_dropped=dropped,
+    )
+
+
+class TestRecommendations:
+    def test_no_samples_keeps_current_budget(self):
+        sizer = MetadataSizer()
+        decision = sizer.recommend("f", current_budget=16 * KB)
+        assert decision.budget_bytes == 16 * KB
+        assert decision.samples == 0
+
+    def test_budget_page_aligned(self):
+        sizer = MetadataSizer()
+        for _ in range(8):
+            sizer.observe("f", report(5 * KB))
+        decision = sizer.recommend("f", 16 * KB)
+        assert decision.budget_bytes % PAGE_SIZE == 0
+
+    def test_small_function_gets_small_budget(self):
+        sizer = MetadataSizer()
+        for _ in range(8):
+            sizer.observe("go-fn", report(4 * KB))
+        decision = sizer.recommend("go-fn", 16 * KB)
+        assert decision.budget_bytes < 16 * KB
+        assert decision.budget_bytes >= int(4 * KB * sizer.headroom) // PAGE_SIZE * PAGE_SIZE
+
+    def test_headroom_above_p95(self):
+        sizer = MetadataSizer(headroom=1.5)
+        for size in (8 * KB,) * 10:
+            sizer.observe("f", report(size))
+        decision = sizer.recommend("f", 16 * KB)
+        assert decision.budget_bytes >= 12 * KB
+        assert decision.observed_p95_bytes == 8 * KB
+
+    def test_truncation_doubles_budget(self):
+        sizer = MetadataSizer()
+        for _ in range(4):
+            sizer.observe("py-fn", report(16 * KB, dropped=100))
+        decision = sizer.recommend("py-fn", 16 * KB)
+        assert decision.truncating
+        assert decision.budget_bytes == 32 * KB
+
+    def test_clamped_to_max(self):
+        sizer = MetadataSizer(max_bytes=32 * KB)
+        for _ in range(4):
+            sizer.observe("f", report(32 * KB, dropped=1))
+        decision = sizer.recommend("f", 32 * KB)
+        assert decision.budget_bytes == 32 * KB
+
+    def test_clamped_to_min(self):
+        sizer = MetadataSizer(min_bytes=PAGE_SIZE)
+        for _ in range(4):
+            sizer.observe("f", report(100))
+        assert sizer.recommend("f", 16 * KB).budget_bytes == PAGE_SIZE
+
+    def test_window_forgets_old_behaviour(self):
+        sizer = MetadataSizer(window=8)
+        for _ in range(8):
+            sizer.observe("f", report(30 * KB))
+        for _ in range(8):
+            sizer.observe("f", report(4 * KB))
+        decision = sizer.recommend("f", 32 * KB)
+        assert decision.budget_bytes <= 8 * KB
+
+    def test_per_function_isolation(self):
+        sizer = MetadataSizer()
+        for _ in range(6):
+            sizer.observe("small", report(3 * KB))
+            sizer.observe("large", report(24 * KB))
+        assert sizer.recommend("small", 16 * KB).budget_bytes \
+            < sizer.recommend("large", 16 * KB).budget_bytes
+
+
+class TestFleetAccounting:
+    def test_total_fleet_bytes(self):
+        sizer = MetadataSizer()
+        budgets = {"a": 8 * KB, "b": 16 * KB}
+        assert sizer.total_fleet_bytes(budgets) == 2 * 24 * KB
+
+    def test_rejects_bad_headroom(self):
+        with pytest.raises(ConfigurationError):
+            MetadataSizer(headroom=0.5)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MetadataSizer(min_bytes=64 * KB, max_bytes=8 * KB)
+
+
+class TestEndToEndSizing:
+    def test_sizer_on_real_function(self, tiny_traces):
+        """Feed real Jukebox reports; the Go-like tiny function should get
+        a budget well under the paper's 16KB default."""
+        from repro.core.jukebox import Jukebox
+        from repro.sim.core import LukewarmCore
+        from repro.sim.params import JukeboxParams, skylake
+
+        core = LukewarmCore(skylake())
+        jukebox = Jukebox(JukeboxParams())
+        sizer = MetadataSizer()
+        for trace in tiny_traces:
+            core.flush_microarch_state()
+            jukebox.begin_invocation(core.hierarchy)
+            result = core.run(trace)
+            sizer.observe("tiny", jukebox.end_invocation(core.hierarchy,
+                                                         result))
+        decision = sizer.recommend("tiny", 16 * KB)
+        assert decision.samples == len(tiny_traces)
+        assert decision.budget_bytes < 16 * KB

@@ -1,0 +1,70 @@
+"""Tests for keep-alive policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.keepalive import FixedTTL, HistogramTTL
+
+
+class TestFixedTTL:
+    def test_ttl_in_ms(self):
+        assert FixedTTL(10).ttl_ms("f") == 600_000
+
+    def test_eviction_decision(self):
+        policy = FixedTTL(1)
+        assert not policy.should_evict("f", 59_000)
+        assert policy.should_evict("f", 61_000)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            FixedTTL(0)
+
+    def test_observe_is_noop(self):
+        policy = FixedTTL(1)
+        policy.observe_iat("f", 5.0)
+        assert policy.ttl_ms("f") == 60_000
+
+
+class TestHistogramTTL:
+    def test_default_until_enough_samples(self):
+        policy = HistogramTTL(default_ttl_minutes=5)
+        assert policy.ttl_ms("f") == 300_000
+        policy.observe_iat("f", 100.0)
+        assert policy.ttl_ms("f") == 300_000  # still < 4 samples
+
+    def test_adapts_to_observed_iats(self):
+        policy = HistogramTTL(percentile=99, margin=1.2)
+        for _ in range(50):
+            policy.observe_iat("f", 1000.0)
+        assert policy.ttl_ms("f") == pytest.approx(1200.0)
+
+    def test_capped_at_max(self):
+        policy = HistogramTTL(max_ttl_minutes=1)
+        for _ in range(50):
+            policy.observe_iat("f", 10_000_000.0)
+        assert policy.ttl_ms("f") == 60_000
+
+    def test_per_function_isolation(self):
+        policy = HistogramTTL()
+        for _ in range(20):
+            policy.observe_iat("fast", 10.0)
+            policy.observe_iat("slow", 60_000.0)
+        assert policy.ttl_ms("fast") < policy.ttl_ms("slow")
+
+    def test_fewer_evictions_than_tight_fixed_ttl(self):
+        """An adaptive policy avoids evicting a slow-but-regular function."""
+        adaptive = HistogramTTL(percentile=99, margin=1.5)
+        fixed = FixedTTL(ttl_minutes=0.5)  # 30s
+        for _ in range(20):
+            adaptive.observe_iat("f", 45_000.0)
+        idle = 45_000.0
+        assert fixed.should_evict("f", idle)
+        assert not adaptive.should_evict("f", idle)
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ConfigurationError):
+            HistogramTTL(percentile=0)
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ConfigurationError):
+            HistogramTTL(margin=0.5)

@@ -1,0 +1,119 @@
+"""Tests for the server-level interleaving model (Sec. 2.2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.instance import WarmInstance
+from repro.server.keepalive import FixedTTL
+from repro.server.server import ServerConfig, ServerSimulator
+from repro.units import MB
+from repro.workloads.arrival import FixedIAT, PoissonArrivals
+from repro.workloads.suite import SUITE, get_profile
+
+
+class TestWarmInstance:
+    def test_record_invocation_tracks_iat(self):
+        inst = WarmInstance("i", get_profile("Auth-G"))
+        inst.record_invocation(100.0, global_seq=0, core=0)
+        inst.record_invocation(1100.0, global_seq=5, core=0)
+        assert inst.iats_ms == [1000.0]
+        assert inst.interleave_degrees == [4]
+
+    def test_cold_start_counted(self):
+        inst = WarmInstance("i", get_profile("Auth-G"))
+        inst.record_invocation(0.0, 0, 0, cold=True)
+        assert inst.cold_starts == 1
+
+    def test_memory_includes_runtime_overhead(self):
+        inst = WarmInstance("i", get_profile("Auth-G"))
+        assert inst.memory_bytes > 20 * MB
+
+    def test_jukebox_metadata_allocation(self):
+        inst = WarmInstance("i", get_profile("Auth-G"))
+        inst.allocate_jukebox_metadata(16 * 1024)
+        assert inst.jukebox_metadata_bytes == 32 * 1024
+
+    def test_idle_ms(self):
+        inst = WarmInstance("i", get_profile("Auth-G"), created_ms=10.0)
+        assert inst.idle_ms(110.0) == 100.0
+        inst.record_invocation(200.0, 0, 0)
+        assert inst.idle_ms(260.0) == 60.0
+
+
+class TestServerSimulator:
+    def make_server(self, instances=50, mean_iat=1000.0, seed=1,
+                    keepalive=None):
+        server = ServerSimulator(ServerConfig(cores=10), keepalive=keepalive,
+                                 seed=seed)
+        profiles = SUITE
+        server.populate(
+            profiles, instances,
+            lambda i, p: PoissonArrivals(mean_iat, seed=seed * 1000 + i))
+        return server
+
+    def test_invocations_happen(self):
+        stats = self.make_server().run(20_000.0)
+        assert stats.invocations > 500
+
+    def test_duplicate_instance_rejected(self):
+        server = ServerSimulator()
+        server.add_instance(get_profile("Auth-G"), FixedIAT(100.0), "x")
+        with pytest.raises(ConfigurationError):
+            server.add_instance(get_profile("Auth-G"), FixedIAT(100.0), "x")
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigurationError):
+            self.make_server().run(0.0)
+
+    def test_interleaving_scales_with_instance_count(self):
+        """Sec. 2.2: more co-resident warm instances -> more invocations
+        interleaved between two invocations of the same instance."""
+        few = self.make_server(instances=10, seed=2).run(30_000.0)
+        many = self.make_server(instances=200, seed=2).run(30_000.0)
+        assert many.mean_interleaving() > 5 * few.mean_interleaving()
+
+    def test_interleaving_matches_occupancy_arithmetic(self):
+        """With N instances at equal rates, ~N-1 other invocations land
+        between two invocations of a given instance."""
+        n = 100
+        stats = self.make_server(instances=n, mean_iat=500.0, seed=3) \
+            .run(30_000.0)
+        assert stats.mean_interleaving() == pytest.approx(n - 1, rel=0.25)
+
+    def test_no_evictions_with_long_ttl(self):
+        stats = self.make_server(keepalive=FixedTTL(60)).run(20_000.0)
+        assert stats.cold_starts == 0
+        assert stats.warm_fraction == 1.0
+
+    def test_short_ttl_causes_cold_starts(self):
+        server = self.make_server(instances=20, mean_iat=5_000.0,
+                                  keepalive=FixedTTL(0.02))  # 1.2s TTL
+        stats = server.run(60_000.0)
+        assert stats.cold_starts > 0
+        assert stats.warm_fraction < 1.0
+
+    def test_memory_accounting(self):
+        server = self.make_server(instances=100)
+        stats = server.run(1_000.0)
+        assert stats.peak_memory_bytes > 0
+        assert 0 < server.memory_pressure() < 1
+
+    def test_jukebox_metadata_headline(self):
+        """Abstract: a thousand warm instances cost ~32MB of metadata."""
+        server = ServerSimulator(ServerConfig())
+        server.populate(SUITE, 1000, lambda i, p: PoissonArrivals(10_000.0,
+                                                                  seed=i))
+        stats = server.run(1_000.0)
+        assert stats.jukebox_metadata_bytes == 1000 * 32 * 1024
+
+    def test_iats_recorded(self):
+        stats = self.make_server(instances=5, mean_iat=200.0).run(10_000.0)
+        assert len(stats.iats_ms) > 10
+        mean_iat = sum(stats.iats_ms) / len(stats.iats_ms)
+        assert mean_iat == pytest.approx(200.0, rel=0.4)
+
+    def test_deterministic_for_seed(self):
+        a = self.make_server(seed=9).run(5_000.0)
+        b = self.make_server(seed=9).run(5_000.0)
+        assert a.invocations == b.invocations
+        assert a.interleave_degrees == b.interleave_degrees

@@ -1,0 +1,149 @@
+"""Tests for the branch predictor, BTB and per-site aggregate model."""
+
+import pytest
+
+from repro.sim.branch import BTB, BimodalTable, BranchPredictor, SiteBranchModel
+from repro.sim.params import CoreParams
+
+
+class TestBimodalTable:
+    def test_initial_prediction_weakly_taken(self):
+        table = BimodalTable(16)
+        assert table.predict(0)
+
+    def test_learns_not_taken(self):
+        table = BimodalTable(16)
+        table.update(3, False)
+        table.update(3, False)
+        assert not table.predict(3)
+
+    def test_saturates(self):
+        table = BimodalTable(16)
+        for _ in range(10):
+            table.update(3, True)
+        table.update(3, False)
+        assert table.predict(3)  # one bad outcome can't flip a saturated counter
+
+    def test_flush_resets(self):
+        table = BimodalTable(16)
+        table.update(3, False)
+        table.update(3, False)
+        table.flush()
+        assert table.predict(3)
+
+    def test_index_wraps(self):
+        table = BimodalTable(16)
+        table.update(16 + 3, False)
+        table.update(16 + 3, False)
+        assert not table.predict(3)
+
+
+class TestBranchPredictor:
+    def test_learns_stable_branch(self):
+        bp = BranchPredictor(CoreParams())
+        pc = 0x1000
+        for _ in range(20):
+            bp.predict_and_update(pc, True)
+        before = bp.mispredicts
+        for _ in range(100):
+            bp.predict_and_update(pc, True)
+        assert bp.mispredicts == before
+
+    def test_alternating_branch_learned_by_gshare(self):
+        bp = BranchPredictor(CoreParams())
+        pc = 0x2000
+        outcomes = [bool(i % 2) for i in range(600)]
+        for t in outcomes[:300]:
+            bp.predict_and_update(pc, t)
+        before = bp.mispredicts
+        for t in outcomes[300:]:
+            bp.predict_and_update(pc, t)
+        # History-based prediction captures strict alternation well.
+        assert bp.mispredicts - before < 30
+
+    def test_flush_forgets(self):
+        bp = BranchPredictor(CoreParams())
+        pc = 0x3000
+        for _ in range(50):
+            bp.predict_and_update(pc, False)
+        bp.flush()
+        assert not bp.predict_and_update(pc, False)  # mispredicts again
+
+    def test_stats_counters(self):
+        bp = BranchPredictor(CoreParams())
+        for i in range(10):
+            bp.predict_and_update(0x10 * i, True)
+        assert bp.lookups == 10
+        bp.reset_stats()
+        assert bp.lookups == 0
+
+
+class TestBTB:
+    def test_first_access_misses(self):
+        btb = BTB(CoreParams())
+        assert not btb.access(0x1000)
+        assert btb.access(0x1000)
+
+    def test_capacity(self):
+        params = CoreParams(btb_entries=16, btb_assoc=2)
+        btb = BTB(params)
+        # Fill one set beyond capacity.
+        pcs = [((i * btb.num_sets) << 2) for i in range(3)]
+        for pc in pcs:
+            btb.access(pc)
+        assert not btb.access(pcs[0])  # evicted
+
+    def test_flush(self):
+        btb = BTB(CoreParams())
+        btb.access(0x1000)
+        btb.flush()
+        assert not btb.access(0x1000)
+
+
+class TestSiteBranchModel:
+    def make(self):
+        btb = BTB(CoreParams())
+        return SiteBranchModel(btb)
+
+    def test_cold_site_costs_one_mispredict_and_bubble(self):
+        model = self.make()
+        mispredicts, bubbles = model.execute_site(0x100, 1, 0.9)
+        assert mispredicts == 1.0
+        assert bubbles == 1
+
+    def test_warm_site_steady_rate(self):
+        model = self.make()
+        model.execute_site(0x100, 1, 0.9)
+        mispredicts, bubbles = model.execute_site(0x100, 1000, 0.9)
+        expected = 1000 * 2 * 0.9 * 0.1 * SiteBranchModel.CORRELATION_MISS_FACTOR
+        assert mispredicts == pytest.approx(expected)
+        assert bubbles == 0
+
+    def test_biased_sites_mispredict_less(self):
+        model = self.make()
+        m_biased, _ = model.execute_site(0x200, 1001, 0.97)
+        m_even, _ = model.execute_site(0x300, 1001, 0.5)
+        assert m_biased < m_even
+
+    def test_flush_recolds_all_sites(self):
+        model = self.make()
+        model.execute_site(0x100, 100, 0.9)
+        model.flush()
+        mispredicts, bubbles = model.execute_site(0x100, 1, 0.9)
+        assert mispredicts == 1.0
+        assert bubbles == 1
+
+    def test_executions_accumulate(self):
+        model = self.make()
+        model.execute_site(0x100, 10, 0.9)
+        model.execute_site(0x200, 5, 0.9)
+        assert model.executions == 15
+        assert model.trained_sites == 2
+
+    def test_reset_stats_keeps_training(self):
+        model = self.make()
+        model.execute_site(0x100, 10, 0.9)
+        model.reset_stats()
+        assert model.executions == 0
+        mispredicts, _ = model.execute_site(0x100, 1, 0.9)
+        assert mispredicts < 1.0  # still trained

@@ -1,0 +1,145 @@
+"""Tests for machine parameter definitions (Table 1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.params import (
+    BROADWELL,
+    SKYLAKE,
+    CacheParams,
+    CoreParams,
+    JukeboxParams,
+    MODE_CHARACTERIZATION,
+    MODE_EVALUATION,
+    TLBParams,
+    broadwell,
+    core_params_for_mode,
+    skylake,
+)
+from repro.units import KB, MB
+
+
+class TestCacheParams:
+    def test_num_sets(self):
+        c = CacheParams("L1I", size=32 * KB, assoc=8, latency=4)
+        assert c.num_sets == 64
+        assert c.num_lines == 512
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheParams("X", size=1000, assoc=8, latency=1)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheParams("X", size=3 * 64 * 8, assoc=8, latency=1)
+
+
+class TestTLBParams:
+    def test_num_sets(self):
+        t = TLBParams("ITLB", entries=128, assoc=8)
+        assert t.num_sets == 16
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            TLBParams("X", entries=100, assoc=8)
+
+
+class TestJukeboxParams:
+    def test_table1_defaults(self):
+        jb = JukeboxParams()
+        assert jb.crrb_entries == 16
+        assert jb.region_size == 1 * KB
+        assert jb.metadata_bytes == 16 * KB
+        assert jb.lines_per_region == 16
+
+    def test_rejects_tiny_region(self):
+        with pytest.raises(ConfigurationError):
+            JukeboxParams(region_size=32)
+
+    def test_rejects_non_power_of_two_region(self):
+        with pytest.raises(ConfigurationError):
+            JukeboxParams(region_size=1500)
+
+    def test_rejects_empty_crrb(self):
+        with pytest.raises(ConfigurationError):
+            JukeboxParams(crrb_entries=0)
+
+
+class TestSkylakeTable1:
+    """Table 1 of the paper, literally."""
+
+    def test_l1i(self):
+        assert SKYLAKE.l1i.size == 32 * KB
+        assert SKYLAKE.l1i.assoc == 8
+        assert SKYLAKE.l1i.latency == 4
+
+    def test_l2_is_1mb(self):
+        assert SKYLAKE.l2.size == 1 * MB
+        assert SKYLAKE.l2.assoc == 8
+
+    def test_llc_is_8mb_16way(self):
+        assert SKYLAKE.llc.size == 8 * MB
+        assert SKYLAKE.llc.assoc == 16
+
+    def test_core(self):
+        assert SKYLAKE.core.freq_ghz == 2.6
+        assert SKYLAKE.core.fetch_bytes_per_cycle == 16
+        assert SKYLAKE.core.rob_entries == 224
+        assert SKYLAKE.core.btb_entries == 8192
+
+    def test_jukebox_defaults(self):
+        assert SKYLAKE.jukebox.metadata_bytes == 16 * KB
+
+
+class TestBroadwell:
+    def test_small_l2(self):
+        assert BROADWELL.l2.size == 256 * KB
+
+    def test_larger_metadata_store(self):
+        """Sec. 5.6: Broadwell needs 32KB metadata per phase."""
+        assert BROADWELL.jukebox.metadata_bytes == 32 * KB
+
+    def test_default_mode_is_characterization(self):
+        char = core_params_for_mode(MODE_CHARACTERIZATION, freq_ghz=2.4)
+        assert BROADWELL.core.inst_stall_onchip == char.inst_stall_onchip
+
+
+class TestModes:
+    def test_modes_differ(self):
+        ev = core_params_for_mode(MODE_EVALUATION)
+        ch = core_params_for_mode(MODE_CHARACTERIZATION)
+        assert ev.inst_stall_onchip < ch.inst_stall_onchip
+        assert ev.inst_stall_dram < ch.inst_stall_dram
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            core_params_for_mode("bogus")
+
+    def test_skylake_accepts_mode(self):
+        m = skylake(mode=MODE_CHARACTERIZATION)
+        assert m.core.inst_stall_onchip == core_params_for_mode(
+            MODE_CHARACTERIZATION).inst_stall_onchip
+
+    def test_broadwell_evaluation_mode(self):
+        m = broadwell(mode=MODE_EVALUATION)
+        assert m.core.inst_stall_onchip == core_params_for_mode(
+            MODE_EVALUATION).inst_stall_onchip
+
+
+class TestMachineHelpers:
+    def test_with_jukebox_replaces_only_jukebox(self):
+        jb = JukeboxParams(metadata_bytes=8 * KB)
+        m = SKYLAKE.with_jukebox(jb)
+        assert m.jukebox.metadata_bytes == 8 * KB
+        assert m.l2.size == SKYLAKE.l2.size
+        assert SKYLAKE.jukebox.metadata_bytes == 16 * KB  # original untouched
+
+    def test_miss_latency_ladder_monotone(self):
+        lats = [SKYLAKE.miss_latency_to(level)
+                for level in ("l1", "l2", "llc", "memory")]
+        assert lats == sorted(lats)
+        assert lats[0] == 0
+
+    def test_miss_latency_unknown_level(self):
+        with pytest.raises(ConfigurationError):
+            SKYLAKE.miss_latency_to("l9")

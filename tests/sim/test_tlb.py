@@ -1,0 +1,60 @@
+"""Tests for the TLB model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.params import TLBParams
+from repro.sim.tlb import TLB
+
+
+def make_tlb(entries=16, assoc=4) -> TLB:
+    return TLB(TLBParams("T", entries=entries, assoc=assoc))
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = make_tlb()
+        assert not tlb.access(5)
+        assert tlb.access(5)
+
+    def test_capacity_eviction_is_lru(self):
+        tlb = make_tlb(entries=4, assoc=4)  # one set
+        for page in range(4):
+            tlb.access(page * tlb.num_sets)
+        tlb.access(0)  # refresh page 0
+        tlb.access(99 * tlb.num_sets)  # evicts LRU = page 1*num_sets
+        assert tlb.contains(0)
+        assert not tlb.contains(1 * tlb.num_sets)
+
+    def test_warm_prepopulates(self):
+        tlb = make_tlb()
+        assert not tlb.warm(7)
+        assert tlb.access(7)
+
+    def test_warm_reports_already_resident(self):
+        tlb = make_tlb()
+        tlb.access(7)
+        assert tlb.warm(7)
+
+    def test_flush(self):
+        tlb = make_tlb()
+        for page in range(8):
+            tlb.access(page)
+        tlb.flush()
+        assert tlb.occupancy == 0
+        assert not tlb.access(0)
+
+    def test_contains_no_side_effect(self):
+        tlb = make_tlb(entries=2, assoc=2)
+        tlb.access(0)
+        tlb.access(tlb.num_sets)  # same set
+        tlb.contains(0)
+        tlb.access(2 * tlb.num_sets)  # evicts true LRU (0)
+        assert not tlb.contains(0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=200))
+    def test_occupancy_bounded(self, pages):
+        tlb = make_tlb(entries=16, assoc=4)
+        for page in pages:
+            tlb.access(page)
+        assert tlb.occupancy <= 16

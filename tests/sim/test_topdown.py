@@ -1,0 +1,68 @@
+"""Tests for Top-Down cycle accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.topdown import TopDownBreakdown, mean_breakdown
+
+
+def sample() -> TopDownBreakdown:
+    return TopDownBreakdown(retiring=100, fetch_latency=50, fetch_bandwidth=10,
+                            bad_speculation=20, backend_bound=20)
+
+
+class TestTopDownBreakdown:
+    def test_total(self):
+        assert sample().total_cycles == 200
+
+    def test_frontend_bound(self):
+        assert sample().frontend_bound == 60
+
+    def test_stall_cycles(self):
+        assert sample().stall_cycles == 100
+
+    def test_cpi(self):
+        assert sample().cpi(100) == 2.0
+
+    def test_cpi_zero_instructions(self):
+        assert sample().cpi(0) == 0.0
+
+    def test_fraction(self):
+        assert sample().fraction("retiring") == pytest.approx(0.5)
+
+    def test_fraction_of_empty(self):
+        assert TopDownBreakdown().fraction("retiring") == 0.0
+
+    def test_cpi_stack_sums_to_cpi(self):
+        td = sample()
+        stack = td.cpi_stack(100)
+        assert sum(stack.values()) == pytest.approx(td.cpi(100))
+        assert set(stack) == {"retiring", "fetch_latency", "fetch_bandwidth",
+                              "bad_speculation", "backend_bound"}
+
+    def test_add_sub_roundtrip(self):
+        a, b = sample(), sample()
+        assert (a + b - b).total_cycles == pytest.approx(a.total_cycles)
+
+    def test_scaled(self):
+        assert sample().scaled(0.5).total_cycles == pytest.approx(100)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=5,
+                    max_size=5))
+    def test_total_is_sum_of_categories(self, values):
+        td = TopDownBreakdown(*values)
+        assert td.total_cycles == pytest.approx(sum(values))
+
+
+class TestMeanBreakdown:
+    def test_empty(self):
+        assert mean_breakdown([]).total_cycles == 0.0
+
+    def test_mean_of_identical(self):
+        m = mean_breakdown([sample(), sample()])
+        assert m.total_cycles == pytest.approx(200)
+
+    def test_mean_averages(self):
+        m = mean_breakdown([TopDownBreakdown(retiring=10),
+                            TopDownBreakdown(retiring=30)])
+        assert m.retiring == pytest.approx(20)

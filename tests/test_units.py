@@ -1,0 +1,101 @@
+"""Unit tests for address-math helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    KB,
+    LINE_SIZE,
+    MB,
+    PAGE_SIZE,
+    align_up,
+    block_addr,
+    block_of,
+    is_power_of_two,
+    log2_int,
+    page_of,
+)
+
+
+class TestConstants:
+    def test_line_size(self):
+        assert LINE_SIZE == 64
+
+    def test_kb_mb(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+
+    def test_page_size(self):
+        assert PAGE_SIZE == 4096
+
+
+class TestBlockMath:
+    def test_block_of_zero(self):
+        assert block_of(0) == 0
+
+    def test_block_of_within_first_line(self):
+        assert block_of(63) == 0
+
+    def test_block_of_second_line(self):
+        assert block_of(64) == 1
+
+    def test_block_addr_rounds_down(self):
+        assert block_addr(100) == 64
+
+    def test_block_addr_aligned_is_identity(self):
+        assert block_addr(128) == 128
+
+    def test_page_of(self):
+        assert page_of(4095) == 0
+        assert page_of(4096) == 1
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_block_addr_is_aligned(self, addr):
+        assert block_addr(addr) % LINE_SIZE == 0
+        assert block_addr(addr) <= addr < block_addr(addr) + LINE_SIZE
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_block_of_consistent_with_block_addr(self, addr):
+        assert block_of(addr) * LINE_SIZE == block_addr(addr)
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(128, 64) == 128
+
+    def test_rounds_up(self):
+        assert align_up(65, 64) == 128
+
+    def test_zero(self):
+        assert align_up(0, 64) == 0
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(10, 0)
+
+    @given(st.integers(min_value=0, max_value=1 << 40),
+           st.sampled_from([1, 2, 64, 4096]))
+    def test_result_is_aligned_and_minimal(self, value, alignment):
+        result = align_up(value, alignment)
+        assert result % alignment == 0
+        assert result >= value
+        assert result - value < alignment
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 64, 4096, 1 << 30])
+    def test_accepts_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 100])
+    def test_rejects_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+    def test_log2(self):
+        assert log2_int(1) == 0
+        assert log2_int(64) == 6
+        assert log2_int(1 << 20) == 20
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_int(100)

@@ -1,0 +1,75 @@
+"""Tests for inter-arrival-time processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.arrival import (
+    FixedIAT,
+    LognormalArrivals,
+    PoissonArrivals,
+    make_arrival_process,
+)
+
+
+class TestFixedIAT:
+    def test_constant(self):
+        proc = FixedIAT(100.0)
+        assert [proc.next_iat() for _ in range(3)] == [100.0, 100.0, 100.0]
+        assert proc.mean_iat == 100.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            FixedIAT(0)
+
+    def test_arrivals_generator(self):
+        times = list(FixedIAT(10.0).arrivals(35.0))
+        assert times == [10.0, 20.0, 30.0]
+
+
+class TestPoissonArrivals:
+    def test_mean_matches(self):
+        proc = PoissonArrivals(50.0, seed=1)
+        samples = [proc.next_iat() for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(50.0, rel=0.1)
+
+    def test_deterministic_for_seed(self):
+        a = PoissonArrivals(50.0, seed=2)
+        b = PoissonArrivals(50.0, seed=2)
+        assert [a.next_iat() for _ in range(5)] == [b.next_iat() for _ in range(5)]
+
+    def test_all_positive(self):
+        proc = PoissonArrivals(5.0, seed=3)
+        assert all(proc.next_iat() >= 0 for _ in range(100))
+
+
+class TestLognormalArrivals:
+    def test_mean_matches(self):
+        proc = LognormalArrivals(100.0, sigma=1.0, seed=1)
+        samples = [proc.next_iat() for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.15)
+
+    def test_heavier_tail_than_poisson(self):
+        logn = LognormalArrivals(100.0, sigma=1.5, seed=4)
+        pois = PoissonArrivals(100.0, seed=4)
+        ln_samples = sorted(logn.next_iat() for _ in range(5000))
+        po_samples = sorted(pois.next_iat() for _ in range(5000))
+        assert ln_samples[int(0.999 * 5000)] > po_samples[int(0.999 * 5000)]
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ConfigurationError):
+            LognormalArrivals(100.0, sigma=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("fixed", FixedIAT),
+        ("poisson", PoissonArrivals),
+        ("lognormal", LognormalArrivals),
+    ])
+    def test_kinds(self, kind, cls):
+        assert isinstance(make_arrival_process(kind, 10.0), cls)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            make_arrival_process("weibull", 10.0)

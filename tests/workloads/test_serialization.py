@@ -1,0 +1,66 @@
+"""Tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.sim.core import LukewarmCore
+from repro.sim.params import skylake
+from repro.workloads.serialization import load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_arrays_preserved(self, tiny_traces, tmp_path):
+        trace = tiny_traces[0]
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert (loaded.kinds == trace.kinds).all()
+        assert (loaded.addrs == trace.addrs).all()
+        assert (loaded.args == trace.args).all()
+        assert (loaded.args2 == trace.args2).all()
+
+    def test_loops_preserved(self, tiny_traces, tmp_path):
+        trace = tiny_traces[0]
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded.loops) == len(trace.loops)
+        for a, b in zip(loaded.loops, trace.loops):
+            assert a == b
+
+    def test_simulation_identical_on_loaded_trace(self, tiny_traces, tmp_path):
+        trace = tiny_traces[0]
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        r1 = LukewarmCore(skylake()).run(trace)
+        r2 = LukewarmCore(skylake()).run(loaded)
+        assert r1.cycles == pytest.approx(r2.cycles)
+        assert r1.instructions == r2.instructions
+
+    def test_suffix_appended_by_numpy(self, tiny_traces, tmp_path):
+        """np.savez appends .npz; load_trace resolves either spelling."""
+        path = tmp_path / "trace"
+        save_trace(tiny_traces[0], path)
+        loaded = load_trace(path)
+        assert loaded.total_instructions == tiny_traces[0].total_instructions
+
+
+class TestValidation:
+    def test_rejects_non_trace_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_rejects_wrong_format_header(self, tmp_path, tiny_traces):
+        import json
+        path = tmp_path / "bad.npz"
+        header = json.dumps({"format": "something-else", "version": 1,
+                             "instructions": 0})
+        np.savez(path,
+                 header=np.frombuffer(header.encode(), dtype=np.uint8),
+                 kinds=np.zeros(0, np.uint8))
+        with pytest.raises(TraceError, match="not an invocation-trace"):
+            load_trace(path)
