@@ -33,7 +33,9 @@ Quickstart::
 
 from repro.core import Jukebox, PIF, PIFParams, pif_ideal_params
 from repro.errors import (
+    ConfigError,
     ConfigurationError,
+    ContractViolationError,
     MetadataError,
     ReproError,
     SimulationError,
@@ -57,7 +59,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BROADWELL",
+    "ConfigError",
     "ConfigurationError",
+    "ContractViolationError",
     "FunctionModel",
     "FunctionProfile",
     "InvocationResult",

@@ -16,6 +16,7 @@ from typing import Iterator, List
 
 from repro.core.crrb import Entry
 from repro.core.regions import RegionGeometry
+from repro.lint import contracts
 
 
 @dataclass
@@ -38,11 +39,17 @@ class MetadataBuffer:
 
     def append(self, entry: Entry) -> bool:
         """Append an entry; returns False (and drops it) if full."""
+        contracts.check_metadata_entry(entry, self.geometry.lines_per_region)
         if len(self._entries) >= self.capacity_entries:
             self.dropped_entries += 1
             return False
         self._entries.append(entry)
         return True
+
+    def validate(self) -> None:
+        """Contract check: entries fit the limit register and every access
+        vector encodes at least one line within the region."""
+        contracts.check_metadata_buffer(self)
 
     def __len__(self) -> int:
         return len(self._entries)

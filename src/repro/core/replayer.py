@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.core.metadata import MetadataBuffer
+from repro.lint import contracts
 from repro.sim.hierarchy import MemoryHierarchy
 from repro.units import LINE_SHIFT, LINE_SIZE, PAGE_SHIFT
 
@@ -77,6 +78,8 @@ class JukeboxReplayer:
 
         if len(buffer) == 0:
             return stats
+        buffer.validate()
+        entries_before = stats.entries_replayed
 
         metadata_bytes = buffer.size_bytes
         memory.metadata_read(metadata_bytes)
@@ -109,6 +112,16 @@ class JukeboxReplayer:
                 fills.append((completion, block))
             stats.entries_replayed += 1
         stats.lines_prefetched = lines_issued
+        # Runtime contract: record counts must match replayed counts -- every
+        # entry the record phase wrote is walked exactly once, and every
+        # expanded line was either issued or de-duplicated (repro.lint).
+        contracts.check_replay_counts(
+            entries_replayed=stats.entries_replayed - entries_before,
+            recorded_entries=len(buffer),
+            lines_prefetched=lines_issued,
+            duplicates_skipped=stats.duplicate_lines_skipped,
+            unique_blocks=len(seen_blocks),
+        )
         if target == "l2":
             hier.schedule_l2_prefetches(fills)
         else:

@@ -22,3 +22,19 @@ class MetadataError(ReproError):
 
 class SimulationError(ReproError):
     """The simulator reached an inconsistent internal state."""
+
+
+class ContractViolationError(SimulationError):
+    """A runtime invariant checked by :mod:`repro.lint.contracts` failed.
+
+    Raised when a statistics object, cache, or metadata buffer is caught in
+    a state that the simulator's accounting can never legally produce
+    (e.g. hits + misses != accesses, a duplicate tag within a cache set, or
+    a metadata buffer holding more entries than its byte limit allows).
+    """
+
+
+#: Canonical short alias for configuration failures.  ``repro.lint`` and the
+#: parameter validators raise :class:`ConfigurationError`; ``ConfigError``
+#: is the same class under the name used throughout the lint docs.
+ConfigError = ConfigurationError

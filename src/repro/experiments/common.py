@@ -16,6 +16,7 @@ the remaining invocations are measured.  The three standard configurations:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -88,7 +89,7 @@ class SequenceResult:
 
 def make_model(profile: FunctionProfile, cfg: RunConfig) -> FunctionModel:
     """Build the (possibly scaled) trace generator for one function."""
-    if cfg.instruction_scale != 1.0:
+    if not math.isclose(cfg.instruction_scale, 1.0, rel_tol=1e-12):
         profile = profile.scaled(cfg.instruction_scale)
     return FunctionModel(profile, seed=cfg.seed)
 

@@ -1,0 +1,44 @@
+"""Determinism & invariant analysis for the reproduction.
+
+Two halves keep the simulator trustworthy:
+
+* **static rules** (:mod:`repro.lint.rules`, run by
+  :mod:`repro.lint.engine` and ``python -m repro.lint``): AST checks
+  REPRO001-REPRO006 for unseeded randomness, float equality, magic
+  size/latency literals, mutable defaults, swallowed exceptions and
+  wall-clock reads in simulation paths;
+* **runtime contracts** (:mod:`repro.lint.contracts`): cheap invariant
+  checks wired into the simulator's lifecycle points -- stats balance,
+  Top-Down components sum to total cycles, metadata record counts match
+  replayed counts.
+
+Suppress a static finding inline with
+``# repro-lint: disable=REPRO003`` (or ``disable=all``), or file-wide
+with ``# repro-lint: disable-file=REPRO003``.
+"""
+
+from repro.lint import contracts
+from repro.lint.engine import (
+    TextEdit,
+    Violation,
+    apply_fixes,
+    lint_file,
+    lint_paths,
+    lint_source,
+    scope_key,
+)
+from repro.lint.rules import ALL_RULES, Rule, get_rule
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "TextEdit",
+    "Violation",
+    "apply_fixes",
+    "contracts",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "scope_key",
+]

@@ -1,0 +1,115 @@
+"""Command-line front-end: ``python -m repro.lint [paths]``.
+
+Exit status is 0 when the tree is clean and 1 when any violation remains
+(pass ``--errors-only`` to let warnings through).  ``--fix`` applies the
+autofixes carried by fixable rules (currently REPRO006's ``sorted(...)``
+wrap) in place, then reports what is left.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.engine import (
+    Violation,
+    apply_fixes,
+    iter_python_files,
+    lint_file,
+)
+from repro.lint.rules import ALL_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=("Determinism & invariant static analysis for the "
+                     "lukewarm-serverless reproduction."),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/ if present, else .)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply available autofixes in place before reporting",
+    )
+    parser.add_argument(
+        "--errors-only", action="store_true",
+        help="exit 0 when only warnings remain",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-violation output; print only the summary",
+    )
+    return parser
+
+
+def _default_paths() -> List[str]:
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def _print_rules() -> None:
+    for rule in ALL_RULES:
+        fix = "autofixable" if rule.autofixable else "no autofix"
+        scope = ", ".join(rule.scopes) if rule.scopes else "everywhere"
+        print(f"{rule.id} [{rule.severity}, {fix}] ({scope})")
+        print(f"    {rule.description}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    paths = args.paths or _default_paths()
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        for p in missing:
+            print(f"repro-lint: error: no such file or directory: {p}",
+                  file=sys.stderr)
+        return 2
+
+    violations: List[Violation] = []
+    files_seen = 0
+    fixes_applied = 0
+    for file, root in iter_python_files(Path(p) for p in paths):
+        files_seen += 1
+        found = lint_file(file, root=root)
+        if args.fix and any(v.fixes for v in found):
+            source = file.read_text(encoding="utf-8")
+            new_source, fixed = apply_fixes(source, found)
+            if fixed:
+                file.write_text(new_source, encoding="utf-8")
+                fixes_applied += fixed
+                found = lint_file(file, root=root)
+        violations.extend(found)
+
+    for violation in violations:
+        if not args.quiet:
+            print(violation.format())
+
+    errors = sum(1 for v in violations if v.severity == "error")
+    warnings = len(violations) - errors
+    if fixes_applied:
+        print(f"repro-lint: applied {fixes_applied} autofix(es)")
+    if violations:
+        print(f"repro-lint: {len(violations)} violation(s) "
+              f"({errors} error(s), {warnings} warning(s)) "
+              f"in {files_seen} file(s)")
+    else:
+        print(f"repro-lint: clean ({files_seen} file(s))")
+    if args.errors_only:
+        return 1 if errors else 0
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

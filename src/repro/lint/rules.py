@@ -1,0 +1,487 @@
+"""The REPRO00x static-analysis rule set.
+
+Every rule is a pluggable :class:`Rule` subclass with an ``id``, a
+``severity`` (``error`` or ``warning``), an ``autofixable`` flag and an
+optional path ``scopes`` tuple restricting where it fires (keys are
+package-relative, see :func:`repro.lint.engine.scope_key`).  To add a rule:
+subclass :class:`Rule`, implement :meth:`Rule.check`, and append an
+instance to :data:`ALL_RULES`.
+
+| id       | checks                                                        |
+|----------|---------------------------------------------------------------|
+| REPRO001 | unseeded ``random.*`` / ``numpy.random.*`` use                |
+| REPRO002 | float ``==`` / ``!=`` in cycle/metric code                    |
+| REPRO003 | magic size/latency literals bypassing ``repro.units``/params  |
+| REPRO004 | mutable default args & shared mutable class attributes        |
+| REPRO005 | bare ``except:`` / silently swallowed exceptions              |
+| REPRO006 | wall-clock or filesystem-order nondeterminism in sim paths    |
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import TextEdit, Violation
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class Rule:
+    """Base class for one lint rule."""
+
+    id: str = "REPRO000"
+    severity: str = "error"
+    autofixable: bool = False
+    #: Package-relative path prefixes this rule is restricted to
+    #: (None = fires everywhere).
+    scopes: Optional[Tuple[str, ...]] = None
+    #: Package-relative paths exempt from the rule.
+    excludes: Tuple[str, ...] = ()
+    description: str = ""
+
+    def applies_to(self, scope: str) -> bool:
+        if any(scope == ex or scope.startswith(ex) for ex in self.excludes):
+            return False
+        if self.scopes is None:
+            return True
+        return any(scope.startswith(prefix) for prefix in self.scopes)
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Violation]:
+        raise NotImplementedError
+
+    def violation(self, node: ast.AST, path: str, message: str,
+                  fixes: Tuple[TextEdit, ...] = ()) -> Violation:
+        return Violation(
+            rule_id=self.id,
+            severity=self.severity,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            fixes=fixes,
+        )
+
+
+class UnseededRandomness(Rule):
+    """REPRO001: module-level RNG use breaks bit-reproducibility.
+
+    Every stochastic component must draw from an explicitly seeded
+    ``random.Random(seed)`` / ``numpy.random.default_rng(seed)`` instance;
+    the module-level convenience APIs share hidden global state.
+    """
+
+    id = "REPRO001"
+    severity = "error"
+    description = ("unseeded random.* / numpy.random.* use; draw from an "
+                   "explicitly seeded generator instance instead")
+
+    #: Constructors that are fine *if* given an explicit seed argument.
+    _SEEDED_FACTORIES = frozenset({
+        "Random", "default_rng", "RandomState", "Generator", "SeedSequence",
+        "PCG64", "Philox", "MT19937", "SFC64", "BitGenerator",
+    })
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        numpy_aliases = {"numpy"}
+        factory_aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+            elif isinstance(node, ast.ImportFrom):
+                violations.extend(
+                    self._check_import_from(node, path, factory_aliases))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                violations.extend(
+                    self._check_call(node, path, numpy_aliases,
+                                     factory_aliases))
+        return violations
+
+    def _check_import_from(self, node: ast.ImportFrom, path: str,
+                           factory_aliases: Set[str]) -> List[Violation]:
+        violations: List[Violation] = []
+        if node.module == "random" or node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name in self._SEEDED_FACTORIES:
+                    factory_aliases.add(alias.asname or alias.name)
+                else:
+                    violations.append(self.violation(
+                        node, path,
+                        f"importing {alias.name!r} from {node.module} pulls "
+                        f"in shared global RNG state; use a seeded "
+                        f"Random(seed)/default_rng(seed) instance",
+                    ))
+        return violations
+
+    def _check_call(self, node: ast.Call, path: str,
+                    numpy_aliases: Set[str],
+                    factory_aliases: Set[str]) -> List[Violation]:
+        has_args = bool(node.args) or bool(node.keywords)
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in factory_aliases and not has_args:
+                return [self.violation(
+                    node, path,
+                    f"{func.id}() constructed without a seed; pass an "
+                    f"explicit seed for reproducible runs",
+                )]
+            return []
+        dotted = _dotted_name(func)
+        if dotted is None:
+            return []
+        parts = dotted.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            return self._flag_module_fn(node, path, "random", parts[1],
+                                        has_args)
+        if (parts[0] in numpy_aliases and len(parts) == 3
+                and parts[1] == "random"):
+            return self._flag_module_fn(node, path, f"{parts[0]}.random",
+                                        parts[2], has_args)
+        return []
+
+    def _flag_module_fn(self, node: ast.Call, path: str, module: str,
+                        fn: str, has_args: bool) -> List[Violation]:
+        if fn in self._SEEDED_FACTORIES:
+            if has_args:
+                return []
+            return [self.violation(
+                node, path,
+                f"{module}.{fn}() constructed without a seed; pass an "
+                f"explicit seed for reproducible runs",
+            )]
+        return [self.violation(
+            node, path,
+            f"{module}.{fn}() uses hidden global RNG state; draw from a "
+            f"seeded Random(seed)/default_rng(seed) instance instead",
+        )]
+
+
+class FloatEquality(Rule):
+    """REPRO002: exact float comparison in cycle/metric code.
+
+    Cycle counts and metrics are floats accumulated in different orders
+    across refactors; exact equality silently flips.  Compare with
+    ``math.isclose`` or an explicit tolerance.
+    """
+
+    id = "REPRO002"
+    severity = "error"
+    scopes = ("sim/", "analysis/", "experiments/")
+    description = ("float == / != comparison in cycle/metric code; use "
+                   "math.isclose or an explicit tolerance")
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    violations.append(self.violation(
+                        node, path,
+                        f"exact float {symbol} comparison; use "
+                        f"math.isclose(...) or compare against a tolerance",
+                    ))
+        return violations
+
+
+class MagicNumber(Rule):
+    """REPRO003: size/latency literals in ``sim/`` bypassing the
+    ``repro.units`` constants and ``sim/params.py``.
+
+    Flags integer literals that look like cache/buffer sizes (>= 1KB and a
+    multiple of 1024 or a power of two).  Hash/mixing constants are odd by
+    construction and never trip this.  ALL_CAPS module-level constant
+    definitions are exempt: naming the number *is* the fix.
+    """
+
+    id = "REPRO003"
+    severity = "warning"
+    scopes = ("sim/",)
+    excludes = ("sim/params.py",)
+    description = ("magic size/latency literal; use repro.units (KB/MB/"
+                   "LINE_SIZE) or a sim.params constant")
+
+    _THRESHOLD = 1024
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Violation]:
+        exempt = self._constant_definition_nodes(tree)
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Constant)
+                    and type(node.value) is int):
+                continue
+            if id(node) in exempt:
+                continue
+            value = node.value
+            if value < self._THRESHOLD:
+                continue
+            if value % 1024 == 0 or _is_power_of_two(value):
+                violations.append(self.violation(
+                    node, path,
+                    f"magic size/latency literal {value}; express it via "
+                    f"repro.units (KB/MB/LINE_SIZE) or a named "
+                    f"sim.params constant",
+                ))
+        return violations
+
+    @staticmethod
+    def _constant_definition_nodes(tree: ast.Module) -> Set[int]:
+        """ids of Constant nodes inside module-level ALL_CAPS assignments."""
+        exempt: Set[int] = set()
+        for stmt in tree.body:
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+            else:
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if names and all(name.isupper() or name.startswith("_")
+                             for name in names):
+                value = stmt.value if isinstance(stmt, ast.Assign) else stmt.value
+                for child in ast.walk(value):
+                    if isinstance(child, ast.Constant):
+                        exempt.add(id(child))
+        return exempt
+
+
+class MutableDefault(Rule):
+    """REPRO004: mutable default arguments and shared mutable class
+    attributes.
+
+    A ``def f(acc=[])`` default or a ``history = []`` class attribute is
+    one object shared by every call/instance -- state leaks straight
+    across invocations and kills run-to-run reproducibility.
+    """
+
+    id = "REPRO004"
+    severity = "error"
+    description = ("mutable default argument / shared mutable class "
+                   "attribute; default to None or use "
+                   "field(default_factory=...)")
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict",
+                      "OrderedDict", "Counter", "deque"})
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                args = node.args
+                for default in list(args.defaults) + list(args.kw_defaults):
+                    if default is not None and self._is_mutable(default):
+                        violations.append(self.violation(
+                            default, path,
+                            "mutable default argument is shared across "
+                            "calls; default to None and create it inside "
+                            "the function",
+                        ))
+            elif isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    value = None
+                    targets: List[ast.expr] = []
+                    if isinstance(stmt, ast.Assign):
+                        value = stmt.value
+                        targets = stmt.targets
+                    elif isinstance(stmt, ast.AnnAssign):
+                        value = stmt.value
+                        targets = [stmt.target]
+                    names = [t.id for t in targets if isinstance(t, ast.Name)]
+                    if names and all(n.lstrip("_").isupper() for n in names):
+                        continue  # ALL_CAPS class constant by convention
+                    if value is not None and self._is_mutable(value):
+                        violations.append(self.violation(
+                            value, path,
+                            f"mutable class attribute on {node.name!r} is "
+                            f"shared by every instance; initialise it in "
+                            f"__init__ or use field(default_factory=...)",
+                        ))
+        return violations
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and not node.args and not node.keywords:
+            name = node.func.id if isinstance(node.func, ast.Name) else None
+            return name in self._MUTABLE_CALLS
+        return False
+
+
+class SwallowedException(Rule):
+    """REPRO005: bare ``except:`` or handlers that silently discard the
+    exception in record/replay and experiment-driver code.
+
+    A swallowed exception turns a corrupted run into a silently wrong
+    figure.  Handle a *specific* exception and act on it, or let it
+    propagate.
+    """
+
+    id = "REPRO005"
+    severity = "error"
+    scopes = ("core/", "experiments/")
+    description = ("bare except / silently swallowed exception; catch a "
+                   "specific type and handle or re-raise it")
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                violations.append(self.violation(
+                    node, path,
+                    "bare except: catches SystemExit/KeyboardInterrupt too; "
+                    "name the exception type",
+                ))
+            elif self._swallows(node):
+                violations.append(self.violation(
+                    node, path,
+                    "exception handler silently discards the error; handle "
+                    "it, log it, or re-raise",
+                ))
+        return violations
+
+    @staticmethod
+    def _swallows(node: ast.ExceptHandler) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)):
+                continue  # docstring / ellipsis
+            return False
+        return True
+
+
+class WallClock(Rule):
+    """REPRO006: wall-clock and filesystem-order nondeterminism in
+    simulation paths.
+
+    Simulated time is the only clock the simulator may read; host time and
+    unsorted directory listings make runs non-reproducible.  The
+    ``os.listdir``/``glob.glob`` case is autofixable by wrapping the call
+    in ``sorted(...)``.
+    """
+
+    id = "REPRO006"
+    severity = "error"
+    autofixable = True
+    scopes = ("sim/", "core/", "analysis/", "workloads/")
+    description = ("wall-clock / nondeterministic call in a simulation "
+                   "path; use simulated cycles and sorted listings")
+
+    _CLOCK_CALLS = frozenset({
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+        "time.process_time_ns",
+        "datetime.now", "datetime.utcnow", "datetime.today",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "os.urandom", "uuid.uuid1", "uuid.uuid4",
+        "secrets.token_bytes", "secrets.token_hex", "secrets.randbits",
+    })
+    _LISTING_CALLS = frozenset({"os.listdir", "os.scandir", "glob.glob", "glob.iglob"})
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Violation]:
+        sorted_args = self._directly_sorted_calls(tree)
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted in self._CLOCK_CALLS:
+                violations.append(self.violation(
+                    node, path,
+                    f"{dotted}() reads host state; simulation code must "
+                    f"use simulated cycles / seeded entropy",
+                ))
+            elif dotted in self._LISTING_CALLS and id(node) not in sorted_args:
+                violations.append(self.violation(
+                    node, path,
+                    f"{dotted}() returns entries in filesystem order; wrap "
+                    f"it in sorted(...)",
+                    fixes=self._sorted_wrap_fixes(node),
+                ))
+        return violations
+
+    @staticmethod
+    def _directly_sorted_calls(tree: ast.Module) -> Set[int]:
+        """ids of Call nodes appearing as the first arg of ``sorted(...)``."""
+        wrapped: Set[int] = set()
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "sorted" and node.args):
+                wrapped.add(id(node.args[0]))
+        return wrapped
+
+    @staticmethod
+    def _sorted_wrap_fixes(node: ast.Call) -> Tuple[TextEdit, ...]:
+        if node.end_lineno is None or node.end_col_offset is None:
+            return ()
+        return (
+            TextEdit(node.lineno, node.col_offset,
+                     node.lineno, node.col_offset, "sorted("),
+            TextEdit(node.end_lineno, node.end_col_offset,
+                     node.end_lineno, node.end_col_offset, ")"),
+        )
+
+
+#: The registry walked by the engine and CLI, in id order.
+ALL_RULES: Tuple[Rule, ...] = (
+    UnseededRandomness(),
+    FloatEquality(),
+    MagicNumber(),
+    MutableDefault(),
+    SwallowedException(),
+    WallClock(),
+)
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up a rule by its ``REPRO00x`` id."""
+    for rule in ALL_RULES:
+        if rule.id == rule_id:
+            return rule
+    raise KeyError(f"unknown lint rule {rule_id!r}")

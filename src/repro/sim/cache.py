@@ -21,6 +21,7 @@ from typing import List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.lint import contracts
 from repro.sim.params import CacheParams
 
 #: Tag bit used to mark synthetic pollution lines so they can never collide
@@ -131,10 +132,54 @@ class SetAssocCache:
 
     def flush(self) -> int:
         """Invalidate every line.  Returns the number of lines dropped."""
+        self.check_invariants()
         dropped = sum(len(lru) for lru in self._sets)
         self._sets = [[] for _ in range(self.num_sets)]
         self._pf_pending.clear()
         return dropped
+
+    def check_invariants(self, deep: bool = False) -> None:
+        """Contract check of the structural invariants.
+
+        The cheap O(sets) pass (run on every :meth:`flush`, i.e. once per
+        lukewarm invocation) bounds set occupancy and the prefetch-pending
+        ledger; ``deep=True`` additionally scans every line for duplicate
+        tags within a set and verifies that every pending-prefetch tag is
+        actually resident.
+        """
+        if not contracts.enabled():
+            return
+        name = self.params.name
+        occupancy = 0
+        for set_idx, lru in enumerate(self._sets):
+            occupancy += len(lru)
+            contracts.check(
+                len(lru) <= self.assoc,
+                f"{name}: set {set_idx} holds {len(lru)} lines but is only "
+                f"{self.assoc}-way",
+            )
+        contracts.check(
+            len(self._pf_pending) <= occupancy,
+            f"{name}: {len(self._pf_pending)} pending prefetched lines "
+            f"exceed the {occupancy} resident lines",
+        )
+        if deep:
+            for set_idx, lru in enumerate(self._sets):
+                contracts.check(
+                    len(set(lru)) == len(lru),
+                    f"{name}: duplicate tag within set {set_idx}",
+                )
+                for block in lru:
+                    contracts.check(
+                        (block & self._set_mask) == set_idx,
+                        f"{name}: block {block:#x} resident in set {set_idx} "
+                        f"but maps to set {block & self._set_mask}",
+                    )
+            resident = self.resident_blocks()
+            contracts.check(
+                self._pf_pending <= resident,
+                f"{name}: prefetch-pending ledger references evicted lines",
+            )
 
     # ------------------------------------------------------------------
     # Pollution primitives for interleaving experiments

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.lint import contracts
 from repro.sim.branch import BTB, SiteBranchModel
 from repro.sim.hierarchy import MemoryHierarchy
 from repro.sim.params import MachineParams
@@ -159,6 +160,9 @@ class LukewarmCore:
             mispredicts=mispredicts,
             btb_bubbles=bubbles,
         )
+        # Runtime contract: every invocation leaves balanced counters and a
+        # Top-Down breakdown whose components sum to the total (repro.lint).
+        contracts.check_invocation(result)
         return result
 
     def _run_loop(self, spec, td: TopDownBreakdown,

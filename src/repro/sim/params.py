@@ -29,6 +29,27 @@ class CacheParams:
     mshrs: int = 10
 
     def __post_init__(self) -> None:
+        if self.assoc <= 0:
+            raise ConfigurationError(
+                f"{self.name}: associativity must be >= 1, got {self.assoc}; "
+                f"use assoc=1 for a direct-mapped cache"
+            )
+        if not is_power_of_two(self.line_size):
+            raise ConfigurationError(
+                f"{self.name}: line size must be a power of two, got "
+                f"{self.line_size} (the hierarchy assumes {LINE_SIZE}B lines, "
+                f"Table 1)"
+            )
+        if self.latency < 0:
+            raise ConfigurationError(
+                f"{self.name}: access latency must be >= 0 cycles, "
+                f"got {self.latency}"
+            )
+        if self.mshrs <= 0:
+            raise ConfigurationError(
+                f"{self.name}: MSHR count must be > 0, got {self.mshrs}; a "
+                f"cache with no MSHRs cannot have outstanding misses"
+            )
         if self.size <= 0 or self.size % (self.assoc * self.line_size) != 0:
             raise ConfigurationError(
                 f"{self.name}: size {self.size} not divisible into "
@@ -58,6 +79,15 @@ class TLBParams:
     walk_latency: int = 40
 
     def __post_init__(self) -> None:
+        if self.assoc <= 0:
+            raise ConfigurationError(
+                f"{self.name}: associativity must be >= 1, got {self.assoc}"
+            )
+        if self.walk_latency < 0:
+            raise ConfigurationError(
+                f"{self.name}: page-walk latency must be >= 0 cycles, "
+                f"got {self.walk_latency}"
+            )
         if self.entries <= 0 or self.entries % self.assoc != 0:
             raise ConfigurationError(
                 f"{self.name}: {self.entries} entries not divisible into "
@@ -105,6 +135,22 @@ class CoreParams:
     btb_entries: int = 8192
     btb_assoc: int = 8
 
+    def __post_init__(self) -> None:
+        if self.issue_width <= 0 or self.fetch_bytes_per_cycle <= 0:
+            raise ConfigurationError(
+                f"core widths must be >= 1, got issue_width="
+                f"{self.issue_width} fetch_bytes_per_cycle="
+                f"{self.fetch_bytes_per_cycle}"
+            )
+        for fraction_name in ("data_overlap", "inst_stall_onchip",
+                              "inst_stall_dram"):
+            value = getattr(self, fraction_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{fraction_name} is a fraction and must lie in [0, 1], "
+                    f"got {value}"
+                )
+
 
 @dataclass(frozen=True)
 class MemoryParams:
@@ -118,6 +164,23 @@ class MemoryParams:
     #: Sustainable bandwidth in bytes per core cycle (DDR4-2400 is 19.2GB/s,
     #: i.e. ~7.4B per 2.6GHz cycle).
     bytes_per_cycle: float = 7.4
+
+    def __post_init__(self) -> None:
+        if self.latency <= 0 or self.row_hit_latency <= 0:
+            raise ConfigurationError(
+                f"DRAM latencies must be positive, got latency={self.latency} "
+                f"row_hit_latency={self.row_hit_latency}"
+            )
+        if self.row_hit_latency > self.latency:
+            raise ConfigurationError(
+                f"row-hit latency ({self.row_hit_latency}) cannot exceed the "
+                f"row-miss latency ({self.latency})"
+            )
+        if self.bytes_per_cycle <= 0:
+            raise ConfigurationError(
+                f"DRAM bandwidth must be positive, got "
+                f"{self.bytes_per_cycle} bytes/cycle"
+            )
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.lint import contracts
+
 
 @dataclass
 class AccessStats:
@@ -82,6 +84,10 @@ class AccessStats:
         self.inst_prefetch_hits = 0
         self.data_prefetch_hits = 0
         self.prefetched_unused = 0
+
+    def validate(self, name: str = "") -> None:
+        """Contract check: counters balance and nothing went negative."""
+        contracts.check_access_stats(self, name=name)
 
 
 @dataclass
@@ -160,6 +166,10 @@ class MemoryTraffic:
         self.metadata_record = 0
         self.metadata_replay = 0
 
+    def validate(self, name: str = "memory traffic") -> None:
+        """Contract check: demand/metadata traffic classes are sane."""
+        contracts.check_memory_traffic(self, name=name)
+
 
 @dataclass
 class HierarchyStats:
@@ -209,3 +219,7 @@ class HierarchyStats:
         for stats in self.levels().values():
             stats.reset()
         self.memory.reset()
+
+    def validate(self, name: str = "hierarchy") -> None:
+        """Contract check across every level plus DRAM traffic."""
+        contracts.check_hierarchy_stats(self, name=name)

@@ -1,0 +1,17 @@
+"""REPRO004 positive fixture: shared mutable defaults and class attrs."""
+
+
+def collect(item, acc=[]):
+    acc.append(item)
+    return acc
+
+
+def index(key, table={}):
+    return table.setdefault(key, len(table))
+
+
+class SimState:
+    history = []
+
+    def push(self, value):
+        self.history.append(value)

@@ -1,0 +1,14 @@
+"""REPRO001 positive fixture: unseeded randomness everywhere."""
+
+import random
+
+import numpy as np
+
+
+def sample():
+    x = random.random()
+    y = random.randint(0, 10)
+    z = np.random.rand(4)
+    rng = np.random.default_rng()
+    local = random.Random()
+    return x, y, z, rng, local

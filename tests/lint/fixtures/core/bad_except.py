@@ -1,0 +1,16 @@
+"""REPRO005 positive fixture: bare and swallowed exception handlers."""
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except:
+        return None
+
+
+def fire_and_forget(callback):
+    try:
+        callback()
+    except Exception:
+        pass

@@ -1,0 +1,16 @@
+"""REPRO005 negative fixture: specific handlers that act on the error."""
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as exc:
+        raise RuntimeError(f"cannot read metadata from {path}") from exc
+
+
+def parse_or_default(text, default):
+    try:
+        return int(text)
+    except ValueError:
+        return default

@@ -1,0 +1,18 @@
+"""REPRO004 negative fixture: None defaults and default_factory fields."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+def collect(item, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc
+
+
+@dataclass
+class SimState:
+    history: List[int] = field(default_factory=list)
+
+    _KNOWN_KINDS = frozenset({"load", "store"})

@@ -1,0 +1,12 @@
+"""REPRO001 negative fixture: every generator is explicitly seeded."""
+
+from random import Random
+
+import numpy as np
+
+
+def sample(seed):
+    rng = np.random.default_rng(seed)
+    sequence = np.random.SeedSequence(entropy=(seed, 104729))
+    local = Random(seed)
+    return rng.random(), sequence, local.random()

@@ -1,0 +1,9 @@
+"""REPRO002 positive fixture: exact float comparisons on metrics."""
+
+
+def converged(cycles):
+    return cycles == 0.0
+
+
+def needs_scaling(scale):
+    return scale != 1.0

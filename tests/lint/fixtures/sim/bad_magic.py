@@ -1,0 +1,10 @@
+"""REPRO003 positive fixture: magic size literals inside sim code."""
+
+
+def l2_capacity_bytes():
+    return 262144
+
+
+def metadata_budget():
+    budget = 16 * 1024
+    return budget

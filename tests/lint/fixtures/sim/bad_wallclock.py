@@ -1,0 +1,12 @@
+"""REPRO006 positive fixture: host clocks and unsorted listings."""
+
+import os
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def trace_files(directory):
+    return os.listdir(directory)

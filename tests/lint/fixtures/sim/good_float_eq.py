@@ -1,0 +1,15 @@
+"""REPRO002 negative fixture: tolerant comparisons and int equality."""
+
+import math
+
+
+def converged(cycles):
+    return math.isclose(cycles, 0.0, abs_tol=1e-9)
+
+
+def needs_scaling(scale):
+    return not math.isclose(scale, 1.0)
+
+
+def exact_int(count):
+    return count == 0

@@ -1,0 +1,13 @@
+"""REPRO003 negative fixture: named constants and repro.units."""
+
+from repro.units import KB
+
+L2_CAPACITY_BYTES = 262144  # ALL_CAPS module constant: naming it is the fix.
+
+
+def metadata_budget():
+    return 16 * KB
+
+
+def small_numbers(x):
+    return x + 64 + 512 + 1000

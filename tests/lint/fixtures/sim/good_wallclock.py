@@ -1,0 +1,11 @@
+"""REPRO006 negative fixture: simulated time and sorted listings."""
+
+import os
+
+
+def stamp(cycle):
+    return cycle
+
+
+def trace_files(directory):
+    return sorted(os.listdir(directory))

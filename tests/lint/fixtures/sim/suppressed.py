@@ -1,0 +1,11 @@
+"""Suppression fixture: every violation carries an inline disable."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro-lint: disable=REPRO006
+
+
+def threshold(x):
+    return x == 1.0  # repro-lint: disable=all

@@ -1,0 +1,10 @@
+"""File-wide suppression fixture."""
+# repro-lint: disable-file=REPRO002
+
+
+def a(x):
+    return x == 1.0
+
+
+def b(y):
+    return y != 2.5

@@ -1,0 +1,179 @@
+"""Rule-by-rule tests of the REPRO00x static analyses over fixtures.
+
+Each rule has at least one positive fixture (must fire) and one negative
+fixture (must stay silent); suppression comments are covered separately.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, Violation, get_rule, lint_paths, scope_key
+from repro.lint.engine import apply_fixes, lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def fixture_violations():
+    """Lint the whole fixture tree once; tests slice it by file."""
+    return lint_paths([FIXTURES])
+
+
+def _for_file(violations, name):
+    return [v for v in violations if Path(v.path).name == name]
+
+
+class TestRegistry:
+    def test_six_rules_with_unique_ids(self):
+        ids = [rule.id for rule in ALL_RULES]
+        assert len(ids) == len(set(ids))
+        assert len(ids) >= 6
+        assert ids == sorted(ids)
+
+    def test_every_rule_documented(self):
+        for rule in ALL_RULES:
+            assert rule.description
+            assert rule.severity in ("error", "warning")
+            assert isinstance(rule.autofixable, bool)
+
+    def test_get_rule(self):
+        assert get_rule("REPRO001").id == "REPRO001"
+        with pytest.raises(KeyError):
+            get_rule("REPRO999")
+
+
+class TestScopeKey:
+    def test_strips_repro_package_prefix(self):
+        key = scope_key(Path("/x/repo/src/repro/sim/cache.py"))
+        assert key == "sim/cache.py"
+
+    def test_fixture_tree_relative_to_root(self):
+        key = scope_key(FIXTURES / "sim" / "bad_float_eq.py", root=FIXTURES)
+        assert key == "sim/bad_float_eq.py"
+
+    def test_scoped_rule_applies(self):
+        rule = get_rule("REPRO002")
+        assert rule.applies_to("sim/core.py")
+        assert rule.applies_to("analysis/metrics.py")
+        assert not rule.applies_to("server/keepalive.py")
+
+    def test_excluded_path_does_not_apply(self):
+        rule = get_rule("REPRO003")
+        assert rule.applies_to("sim/cache.py")
+        assert not rule.applies_to("sim/params.py")
+
+
+class TestREPRO001:
+    def test_positive(self, fixture_violations):
+        found = _for_file(fixture_violations, "bad_random.py")
+        assert {v.rule_id for v in found} == {"REPRO001"}
+        assert len(found) == 5  # random.random/randint, np.rand, 2 unseeded
+
+    def test_negative(self, fixture_violations):
+        assert not _for_file(fixture_violations, "good_random.py")
+
+
+class TestREPRO002:
+    def test_positive(self, fixture_violations):
+        found = _for_file(fixture_violations, "bad_float_eq.py")
+        assert {v.rule_id for v in found} == {"REPRO002"}
+        assert len(found) == 2
+
+    def test_negative(self, fixture_violations):
+        assert not _for_file(fixture_violations, "good_float_eq.py")
+
+    def test_out_of_scope_directory_is_silent(self, tmp_path):
+        wild = tmp_path / "server" / "free_floats.py"
+        wild.parent.mkdir()
+        wild.write_text("def f(x):\n    return x == 1.0\n")
+        assert lint_paths([tmp_path]) == []
+
+
+class TestREPRO003:
+    def test_positive(self, fixture_violations):
+        found = _for_file(fixture_violations, "bad_magic.py")
+        assert {v.rule_id for v in found} == {"REPRO003"}
+        assert len(found) == 2
+        assert all(v.severity == "warning" for v in found)
+
+    def test_negative(self, fixture_violations):
+        assert not _for_file(fixture_violations, "good_magic.py")
+
+
+class TestREPRO004:
+    def test_positive(self, fixture_violations):
+        found = _for_file(fixture_violations, "bad_mutable_default.py")
+        assert {v.rule_id for v in found} == {"REPRO004"}
+        assert len(found) == 3  # two defaults + one class attribute
+
+    def test_negative(self, fixture_violations):
+        assert not _for_file(fixture_violations, "good_mutable_default.py")
+
+
+class TestREPRO005:
+    def test_positive(self, fixture_violations):
+        found = _for_file(fixture_violations, "bad_except.py")
+        assert {v.rule_id for v in found} == {"REPRO005"}
+        assert len(found) == 2
+        messages = " ".join(v.message for v in found)
+        assert "bare except" in messages
+        assert "discards" in messages
+
+    def test_negative(self, fixture_violations):
+        assert not _for_file(fixture_violations, "good_except.py")
+
+
+class TestREPRO006:
+    def test_positive(self, fixture_violations):
+        found = _for_file(fixture_violations, "bad_wallclock.py")
+        assert {v.rule_id for v in found} == {"REPRO006"}
+        assert len(found) == 2
+
+    def test_negative(self, fixture_violations):
+        assert not _for_file(fixture_violations, "good_wallclock.py")
+
+    def test_autofix_wraps_listing_in_sorted(self):
+        path = FIXTURES / "sim" / "bad_wallclock.py"
+        violations = lint_file(path, root=FIXTURES)
+        source = path.read_text(encoding="utf-8")
+        fixed_source, applied = apply_fixes(source, violations)
+        assert applied == 1  # os.listdir is fixable, time.time is not
+        assert "sorted(os.listdir(directory))" in fixed_source
+
+
+class TestSuppression:
+    def test_inline_disable(self, fixture_violations):
+        assert not _for_file(fixture_violations, "suppressed.py")
+
+    def test_file_wide_disable(self, fixture_violations):
+        assert not _for_file(fixture_violations, "suppressed_file.py")
+
+    def test_disable_only_silences_named_rule(self, tmp_path):
+        target = tmp_path / "sim" / "mixed.py"
+        target.parent.mkdir()
+        target.write_text(
+            "import time\n"
+            "def f(x):\n"
+            "    return x == 1.0, time.time()  # repro-lint: disable=REPRO002\n"
+        )
+        found = lint_paths([tmp_path])
+        assert {v.rule_id for v in found} == {"REPRO006"}
+
+
+class TestEngineEdges:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        found = lint_paths([tmp_path])
+        assert len(found) == 1
+        assert found[0].rule_id == "REPRO000"
+        assert found[0].severity == "error"
+
+    def test_violations_are_formatted_with_location(self, fixture_violations):
+        violation = _for_file(fixture_violations, "bad_float_eq.py")[0]
+        assert isinstance(violation, Violation)
+        text = violation.format()
+        assert "bad_float_eq.py" in text
+        assert "REPRO002" in text
+        assert ":" in text
