@@ -1,0 +1,60 @@
+"""Benchmark: overhead of the sweep engine itself.
+
+Everything else under ``benchmarks/`` measures simulation; these three
+measure the machinery around it — fingerprinting a job, serving a sweep
+entirely from the warm cache, and the cache store path on a miss — so a
+regression in the engine shows up separately from one in the simulator.
+"""
+
+from __future__ import annotations
+
+from repro import engine
+from repro.experiments.common import RunConfig
+from repro.workloads.suite import get_profile
+from repro.sim.params import skylake
+
+BENCH_CFG = RunConfig(invocations=3, warmup=1, instruction_scale=0.1)
+
+
+def _jobs():
+    machine = skylake()
+    return [engine.Job.make(get_profile(a), machine, BENCH_CFG, c)
+            for a in ("Auth-G", "Email-P")
+            for c in ("baseline", "jukebox")]
+
+
+def test_engine_job_key(benchmark):
+    """Cost of one content-address: canonicalize + sha256 a full job."""
+    job = _jobs()[0]
+    key = benchmark(job.key)
+    assert key == job.key()
+
+
+def test_engine_cache_hit_sweep(benchmark, tmp_path):
+    """A fully warm sweep: four cells served without any simulation."""
+    jobs = _jobs()
+    with engine.configure(cache_dir=tmp_path / "cache") as ctx:
+        expected = engine.sweep(jobs)  # populate
+
+        def warm():
+            return engine.sweep(jobs)
+
+        results = benchmark(warm)
+        assert ctx.stats.misses == len(jobs)  # only the populating sweep
+    assert [r.cpi for r in results] == [r.cpi for r in expected]
+
+
+def test_engine_cache_store(benchmark, tmp_path):
+    """The miss path minus simulation: pickle + atomic rename of a result."""
+    jobs = _jobs()
+    with engine.configure(cache_dir=tmp_path / "seed") as ctx:
+        result = engine.sweep(jobs[:1])[0]
+        key = jobs[0].key()
+    cache = engine.ResultCache(tmp_path / "store")
+
+    def store():
+        cache.put(key, result)
+
+    benchmark(store)
+    hit, value = cache.get(key)
+    assert hit and value.cpi == result.cpi

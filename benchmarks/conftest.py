@@ -8,13 +8,28 @@ report.  Rendered outputs are also written to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro import engine
 from repro.experiments.common import RunConfig
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_engine_context():
+    """Route benchmark sweeps through the engine, cache disabled.
+
+    Caching would turn every benchmark after the first run into a
+    cache-hit measurement; ``BENCH_JOBS`` opts into parallel sweeps
+    (results are bit-identical either way).
+    """
+    jobs = int(os.environ.get("BENCH_JOBS", "1"))
+    with engine.configure(jobs=jobs, cache=None) as ctx:
+        yield ctx
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,67 @@
+"""``repro.engine``: the parallel sweep engine with result memoization.
+
+The engine turns every simulation cell the experiments need -- one
+(function x machine x RunConfig x config) combination -- into a
+declarative, picklable :class:`Job`, executes batches through a pluggable
+executor (serial, or a ``multiprocessing`` pool via ``--jobs N``) with
+deterministic result ordering, and memoizes results in a
+content-addressed on-disk :class:`ResultCache` keyed by a stable hash of
+every input plus the simulator's source digest.
+
+Typical use from an experiment module::
+
+    from repro.engine import sweep_configs
+
+    runs = sweep_configs(profiles, machine, cfg, ("baseline", "jukebox"))
+    base = runs["Auth-G"]["baseline"]
+
+and from the CLI layer::
+
+    with engine.configure(jobs=4, cache_dir=path, clock=time.perf_counter):
+        ...   # every sweep below fans out over 4 workers, memoized
+"""
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    execute_job,
+    get_executor,
+)
+from repro.engine.job import (
+    DEFAULT_PROVIDER,
+    Job,
+    SCHEMA_VERSION,
+    canonicalize,
+    code_version,
+    fingerprint,
+)
+from repro.engine.sweep import (
+    EngineContext,
+    SweepStats,
+    configure,
+    current_context,
+    sweep,
+    sweep_configs,
+)
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_PROVIDER",
+    "EngineContext",
+    "Job",
+    "ProcessExecutor",
+    "ResultCache",
+    "SCHEMA_VERSION",
+    "SerialExecutor",
+    "SweepStats",
+    "canonicalize",
+    "code_version",
+    "configure",
+    "current_context",
+    "execute_job",
+    "fingerprint",
+    "get_executor",
+    "sweep",
+    "sweep_configs",
+]

@@ -1,0 +1,105 @@
+"""Content-addressed on-disk memoization of simulation results.
+
+Entries are pickled payloads stored under a two-level fanout of their
+:meth:`~repro.engine.job.Job.key` (``<root>/<key[:2]>/<key>.pkl``).  The
+key already encodes every input plus the simulator's source digest, so
+the cache never needs an explicit invalidation protocol: a changed input
+or a changed simulator simply addresses a different entry.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent sweeps --
+including parallel workers of *different* runs sharing one cache
+directory -- race benignly: last writer wins with an identical payload.
+Unreadable or stale entries are treated as misses and evicted.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pickle
+import shutil
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Tuple, Union
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Entries that existed but could not be unpickled (evicted as stale).
+    errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return replace(self)
+
+
+#: Exceptions that mean "this entry is unusable", not "the run is broken":
+#: truncated writes, pickles from a removed class, protocol drift.
+_STALE_ENTRY_ERRORS = (OSError, pickle.UnpicklingError, EOFError,
+                       AttributeError, ImportError, IndexError, ValueError)
+
+
+class ResultCache:
+    """A content-addressed pickle store rooted at one directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; a miss returns ``(False, None)``."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except _STALE_ENTRY_ERRORS:
+            # Entry is corrupt or predates a payload-class change: evict it
+            # so the slot is rewritten with a fresh simulation result.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            with contextlib.suppress(OSError):
+                path.unlink()
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.pkl"))
+
+    def clear(self) -> None:
+        """Remove every entry (the fanout directories included)."""
+        if self.root.exists():
+            shutil.rmtree(self.root)

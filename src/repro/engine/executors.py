@@ -1,0 +1,68 @@
+"""Job execution backends: in-process serial and multiprocessing pools.
+
+Both executors guarantee *submission-order* results, which is what makes
+parallel sweeps bit-identical to serial ones: every cell is a pure
+function of its :class:`~repro.engine.job.Job`, so only ordering could
+differ, and ``Pool.map`` pins that down.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING, Any, List, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.engine.job import Job
+
+
+def execute_job(job: "Job") -> Any:
+    """Run one job in the current process (also the pool-worker entry).
+
+    The job's provider module is imported first so the config-registry
+    entry it names exists even in a freshly spawned interpreter.
+    """
+    importlib.import_module(job.provider)
+    from repro.experiments.common import run_config
+
+    return run_config(job.profile, job.machine, job.cfg, job.config,
+                      **job.opts_dict())
+
+
+class SerialExecutor:
+    """Run jobs one after another in the calling process."""
+
+    jobs = 1
+
+    def run(self, jobs: Sequence["Job"]) -> List[Any]:
+        return [execute_job(job) for job in jobs]
+
+
+class ProcessExecutor:
+    """Fan jobs out over a ``multiprocessing`` pool of ``jobs`` workers."""
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ConfigurationError(
+                f"executor needs at least one worker, got jobs={jobs}")
+        self.jobs = jobs
+
+    def run(self, jobs: Sequence["Job"]) -> List[Any]:
+        if self.jobs == 1 or len(jobs) <= 1:
+            return SerialExecutor().run(jobs)
+        import multiprocessing
+
+        workers = min(self.jobs, len(jobs))
+        # Small chunks keep long and short cells balanced across workers.
+        chunksize = max(1, len(jobs) // (workers * 4))
+        with multiprocessing.Pool(processes=workers) as pool:
+            return pool.map(execute_job, jobs, chunksize=chunksize)
+
+
+def get_executor(jobs: int = 1) -> Any:
+    """Executor for ``jobs`` workers (serial when ``jobs == 1``)."""
+    if jobs < 1:
+        raise ConfigurationError(
+            f"executor needs at least one worker, got jobs={jobs}")
+    return SerialExecutor() if jobs == 1 else ProcessExecutor(jobs)

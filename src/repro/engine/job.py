@@ -1,0 +1,145 @@
+"""Declarative simulation cells and their content-addressed fingerprints.
+
+A :class:`Job` is the picklable description of one simulation cell: *which
+function* (its :class:`~repro.workloads.profiles.FunctionProfile`), on
+*which machine*, at *which scale* (:class:`~repro.experiments.common
+.RunConfig`), under *which configuration* (a name in the
+``repro.experiments.common.CONFIGS`` registry), with which extra options.
+Because a job is plain frozen data rather than a closure, it can cross
+process boundaries to a worker pool and it has a *stable identity*:
+:meth:`Job.key` hashes the canonical JSON encoding of every input that can
+affect the result -- profile, machine parameters, run configuration,
+config name, options -- plus :func:`code_version`, a digest of the
+simulation sources, so editing the simulator transparently invalidates
+every memoized result.
+
+This module deliberately imports nothing from ``repro.experiments`` or
+``repro.sim``: the engine layer only describes and transports work; the
+worker resolves ``Job.provider`` at execution time (see
+:mod:`repro.engine.executors`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Bumped whenever the cache payload layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Module whose ``CONFIGS`` registry resolves standard config names.
+DEFAULT_PROVIDER = "repro.experiments.common"
+
+#: Package subtrees whose sources participate in :func:`code_version`:
+#: any edit to simulation behaviour must invalidate memoized results.
+_CODE_SUBTREES = ("sim", "core", "workloads", "server")
+_CODE_FILES = ("experiments/common.py",)
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every simulation-relevant source file.
+
+    The digest covers file *contents* in sorted path order, so it is
+    identical across processes and machines for the same checkout.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    paths = []
+    for subtree in _CODE_SUBTREES:
+        paths.extend((root / subtree).glob("**/*.py"))
+    paths.extend(root / name for name in _CODE_FILES)
+    for path in sorted(paths):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to JSON-encodable data with a deterministic shape.
+
+    Dataclasses become name-tagged field dicts, sets are sorted, dict keys
+    are stringified and sorted by ``json.dumps``.  Anything without an
+    obvious canonical form (open handles, closures, arbitrary objects) is
+    rejected so it can never silently alias two distinct cells.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: canonicalize(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        fields["__dataclass__"] = type(value).__name__
+        return fields
+    if isinstance(value, dict):
+        return {str(k): canonicalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((canonicalize(v) for v in value), key=repr)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ConfigurationError(
+        f"cannot fingerprint {type(value).__name__!r} value {value!r}; "
+        f"job inputs must be primitives, containers or dataclasses"
+    )
+
+
+def fingerprint(value: Any) -> str:
+    """Stable SHA-256 hex digest of a canonicalized value."""
+    payload = json.dumps(canonicalize(value), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Job:
+    """One simulation cell: (function x machine x RunConfig x config).
+
+    ``opts`` is a sorted tuple of (name, value) pairs so the dataclass
+    stays frozen/picklable; build jobs through :meth:`Job.make` to get the
+    normalization for free.  ``machine`` may be ``None`` for trace-only
+    configs (e.g. footprint collection) whose results are
+    machine-independent -- keeping the cache key honest.
+    """
+
+    profile: Any
+    machine: Any
+    cfg: Any
+    config: str
+    opts: Tuple[Tuple[str, Any], ...] = ()
+    provider: str = DEFAULT_PROVIDER
+
+    @staticmethod
+    def make(profile: Any, machine: Any, cfg: Any, config: str,
+             provider: str = DEFAULT_PROVIDER, **opts: Any) -> "Job":
+        return Job(profile=profile, machine=machine, cfg=cfg, config=config,
+                   opts=tuple(sorted(opts.items())), provider=provider)
+
+    @property
+    def function(self) -> str:
+        return getattr(self.profile, "abbrev", str(self.profile))
+
+    def opts_dict(self) -> Dict[str, Any]:
+        return dict(self.opts)
+
+    def key(self) -> str:
+        """Content-addressed cache key of this cell's result."""
+        return fingerprint({
+            "schema": SCHEMA_VERSION,
+            "code": code_version(),
+            "profile": self.profile,
+            "machine": self.machine,
+            "cfg": self.cfg,
+            "config": self.config,
+            "opts": self.opts_dict(),
+        })
+
+    def describe(self) -> str:
+        return f"{self.function}/{self.config}"

@@ -1,0 +1,173 @@
+"""The sweep API: memoized, order-preserving execution of job batches.
+
+Experiments describe their cells as :class:`~repro.engine.job.Job` values
+and call :func:`sweep`; the active :class:`EngineContext` decides *how*
+they run (serial or a process pool) and *whether* results are served from
+the content-addressed :class:`~repro.engine.cache.ResultCache`.  Contexts
+nest via :func:`configure`, so the runner (or a test) can switch the whole
+experiment layer to ``--jobs 4`` plus an on-disk cache without threading
+parameters through sixteen ``run()`` signatures.
+
+Engine code never reads host time (REPRO006): wall-clock accounting for
+the runner's footer comes from an injected ``clock`` callable, and stays
+zero when none is configured.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.engine.cache import ResultCache
+from repro.engine.executors import SerialExecutor, get_executor
+from repro.engine.job import DEFAULT_PROVIDER, Job
+
+
+@dataclass
+class SweepStats:
+    """Cumulative counters of one engine context, surfaced by the runner."""
+
+    jobs: int = 0
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Seconds spent simulating cache misses (via the injected clock).
+    sim_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.jobs if self.jobs else 0.0
+
+    def snapshot(self) -> "SweepStats":
+        return replace(self)
+
+    def since(self, earlier: "SweepStats") -> "SweepStats":
+        """The delta accumulated after ``earlier`` was snapshotted."""
+        return SweepStats(
+            jobs=self.jobs - earlier.jobs,
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            stores=self.stores - earlier.stores,
+            sim_seconds=self.sim_seconds - earlier.sim_seconds,
+        )
+
+    def describe(self) -> str:
+        if not self.jobs:
+            return "engine: no simulation cells"
+        parts = [f"engine: {self.jobs} cells, {self.hits} cached, "
+                 f"{self.misses} simulated"]
+        if self.sim_seconds > 0:
+            parts.append(f" in {self.sim_seconds:.1f}s")
+        return "".join(parts)
+
+
+@dataclass
+class EngineContext:
+    """Executor + cache + counters governing :func:`sweep` calls."""
+
+    executor: Any = field(default_factory=SerialExecutor)
+    cache: Optional[ResultCache] = None
+    stats: SweepStats = field(default_factory=SweepStats)
+    #: Optional monotonic-seconds callable (e.g. ``time.perf_counter``),
+    #: injected by the CLI layer; the engine itself never reads host time.
+    clock: Optional[Callable[[], float]] = None
+
+
+#: Innermost-wins stack of active contexts; the root context is the
+#: zero-configuration default (serial, uncached).
+_CONTEXTS: List[EngineContext] = [EngineContext()]
+
+
+def current_context() -> EngineContext:
+    """The innermost active :class:`EngineContext`."""
+    return _CONTEXTS[-1]
+
+
+@contextmanager
+def configure(jobs: int = 1,
+              cache_dir: Optional[Union[str, Path]] = None,
+              cache: Optional[ResultCache] = None,
+              clock: Optional[Callable[[], float]] = None,
+              ) -> Iterator[EngineContext]:
+    """Activate an engine context for the duration of the ``with`` block."""
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+    ctx = EngineContext(executor=get_executor(jobs), cache=cache, clock=clock)
+    _CONTEXTS.append(ctx)
+    try:
+        yield ctx
+    finally:
+        _CONTEXTS.pop()
+
+
+def sweep(jobs: Sequence[Job],
+          context: Optional[EngineContext] = None) -> List[Any]:
+    """Execute a batch of jobs, returning results in submission order.
+
+    Cache hits are filled in first; the remaining misses go to the
+    context's executor as one batch (so a process pool sees the whole
+    frontier at once), then get stored back.  Output is bit-identical
+    whatever the executor, and a fully warm cache runs no simulation.
+    """
+    jobs = list(jobs)
+    ctx = context if context is not None else current_context()
+    stats = ctx.stats
+    stats.jobs += len(jobs)
+    results: List[Any] = [None] * len(jobs)
+    pending: List[Tuple[int, Job, str]] = []
+    for i, job in enumerate(jobs):
+        if ctx.cache is not None:
+            key = job.key()
+            hit, value = ctx.cache.get(key)
+            if hit:
+                results[i] = value
+                stats.hits += 1
+                continue
+        else:
+            key = ""
+        pending.append((i, job, key))
+    if pending:
+        started = ctx.clock() if ctx.clock is not None else None
+        computed = ctx.executor.run([job for _, job, _ in pending])
+        if started is not None:
+            stats.sim_seconds += ctx.clock() - started
+        for (i, _, key), value in zip(pending, computed):
+            results[i] = value
+            if ctx.cache is not None:
+                ctx.cache.put(key, value)
+                stats.stores += 1
+    stats.misses += len(pending)
+    return results
+
+
+def sweep_configs(profiles: Sequence[Any], machine: Any, cfg: Any,
+                  configs: Sequence[str],
+                  opts: Optional[Dict[str, Dict[str, Any]]] = None,
+                  provider: str = DEFAULT_PROVIDER,
+                  context: Optional[EngineContext] = None,
+                  ) -> Dict[str, Dict[str, Any]]:
+    """Sweep the (profile x config) grid.
+
+    Returns ``results[profile.abbrev][config]``.  ``opts`` maps a config
+    name to extra keyword arguments for its builder.
+    """
+    profiles = list(profiles)
+    configs = list(configs)
+    opts = opts if opts is not None else {}
+    jobs = [Job.make(p, machine, cfg, c, provider=provider,
+                     **opts.get(c, {}))
+            for p in profiles for c in configs]
+    flat = iter(sweep(jobs, context=context))
+    return {p.abbrev: {c: next(flat) for c in configs} for p in profiles}

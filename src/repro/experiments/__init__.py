@@ -7,10 +7,14 @@ plain-text table/series the paper reports.  ``runner`` provides the
 """
 
 from repro.experiments.common import (
+    CONFIGS,
     RunConfig,
     SequenceResult,
+    config_names,
+    register_config,
     run_all_configs,
     run_baseline,
+    run_config,
     run_jukebox,
     run_perfect_icache,
     run_pif,
@@ -18,10 +22,14 @@ from repro.experiments.common import (
 )
 
 __all__ = [
+    "CONFIGS",
     "RunConfig",
     "SequenceResult",
+    "config_names",
+    "register_config",
     "run_all_configs",
     "run_baseline",
+    "run_config",
     "run_jukebox",
     "run_perfect_icache",
     "run_pif",

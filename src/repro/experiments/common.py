@@ -3,7 +3,9 @@
 Every evaluation experiment follows the paper's protocol (Secs. 4.2, 5.2):
 a function instance is invoked repeatedly; the first ``warmup`` invocations
 establish steady state (the gem5 checkpoint + first recorded metadata) and
-the remaining invocations are measured.  The three standard configurations:
+the remaining invocations are measured.  The standard configurations live
+in the :data:`CONFIGS` registry (name -> builder) and are dispatched by
+:func:`run_config`, which is also what :mod:`repro.engine` workers invoke:
 
 * **reference**  -- back-to-back invocations with warm state;
 * **baseline**   -- all microarchitectural state flushed between
@@ -11,14 +13,25 @@ the remaining invocations are measured.  The three standard configurations:
 * **jukebox**    -- the baseline plus Jukebox record/replay;
 * **perfect**    -- the baseline with an infinite magic I-cache that
   persists across invocations (upper bound);
-* **pif** / **pif-ideal** -- the baseline plus the PIF prefetcher.
+* **pif**        -- the baseline plus the PIF prefetcher (``params=`` and
+  ``with_jukebox=`` options cover the PIF-ideal and combined variants).
+
+Experiment modules may register additional configs with
+:func:`register_config` (e.g. ``contended`` in ``fig01_iat``); an engine
+:class:`~repro.engine.job.Job` names its registering module as the
+``provider`` so worker processes can resolve it.
+
+The historical ``run_reference``/``run_baseline``/``run_jukebox``/
+``run_perfect_icache``/``run_pif`` entry points survive as deprecated thin
+wrappers over :func:`run_config`.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import warnings
+from dataclasses import dataclass, field, replace as _dc_replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.jukebox import Jukebox, JukeboxInvocationReport
 from repro.core.pif import PIF, PIFParams
@@ -50,6 +63,14 @@ class RunConfig:
                 f"need more invocations ({self.invocations}) than warmup "
                 f"({self.warmup})"
             )
+        if self.instruction_scale <= 0:
+            raise ConfigurationError(
+                f"instruction_scale must be > 0, got {self.instruction_scale}"
+            )
+
+    def replace(self, **kwargs: Any) -> "RunConfig":
+        """A copy with ``kwargs`` overridden, re-validated by __post_init__."""
+        return _dc_replace(self, **kwargs)
 
     @staticmethod
     def fast() -> "RunConfig":
@@ -121,22 +142,75 @@ def _measure(core: LukewarmCore, traces: List[InvocationTrace], cfg: RunConfig,
     return SequenceResult(results=measured, jukebox_reports=reports)
 
 
-def run_reference(profile: FunctionProfile, machine: MachineParams,
-                  cfg: RunConfig) -> SequenceResult:
+# ---------------------------------------------------------------------------
+# The config registry: name -> builder, dispatched by run_config().
+
+#: A builder computes one simulation cell: (profile, machine, cfg, **opts).
+ConfigBuilder = Callable[..., Any]
+
+CONFIGS: Dict[str, ConfigBuilder] = {}
+
+
+def register_config(name: str) -> Callable[[ConfigBuilder], ConfigBuilder]:
+    """Register a config builder under ``name`` (decorator).
+
+    Names are global across the process -- an engine
+    :class:`~repro.engine.job.Job` carries only the name plus its provider
+    module -- so double registration is a configuration error.
+    """
+    def decorator(builder: ConfigBuilder) -> ConfigBuilder:
+        existing = CONFIGS.get(name)
+        if existing is not None and existing is not builder:
+            raise ConfigurationError(
+                f"config {name!r} already registered by "
+                f"{existing.__module__}.{existing.__qualname__}"
+            )
+        CONFIGS[name] = builder
+        return builder
+    return decorator
+
+
+def config_names() -> Tuple[str, ...]:
+    """The currently registered config names, sorted."""
+    return tuple(sorted(CONFIGS))
+
+
+def run_config(profile: FunctionProfile, machine: Optional[MachineParams],
+               cfg: RunConfig, config: str, **opts: Any) -> Any:
+    """Run one simulation cell: dispatch ``config`` through the registry.
+
+    This is the single entry point behind both the deprecated ``run_*``
+    wrappers and :func:`repro.engine.executors.execute_job`.
+    """
+    try:
+        builder = CONFIGS[config]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown config {config!r}; registered: "
+            f"{', '.join(config_names())}"
+        ) from None
+    return builder(profile, machine, cfg, **opts)
+
+
+@register_config("reference")
+def _build_reference(profile: FunctionProfile, machine: MachineParams,
+                     cfg: RunConfig) -> SequenceResult:
     """Back-to-back warm invocations on an otherwise idle core."""
     core = LukewarmCore(machine)
     return _measure(core, make_traces(profile, cfg), cfg, flush=False)
 
 
-def run_baseline(profile: FunctionProfile, machine: MachineParams,
-                 cfg: RunConfig) -> SequenceResult:
+@register_config("baseline")
+def _build_baseline(profile: FunctionProfile, machine: MachineParams,
+                    cfg: RunConfig) -> SequenceResult:
     """The lukewarm baseline: full state flush between invocations."""
     core = LukewarmCore(machine)
     return _measure(core, make_traces(profile, cfg), cfg, flush=True)
 
 
-def run_jukebox(profile: FunctionProfile, machine: MachineParams,
-                cfg: RunConfig) -> SequenceResult:
+@register_config("jukebox")
+def _build_jukebox(profile: FunctionProfile, machine: MachineParams,
+                   cfg: RunConfig) -> SequenceResult:
     """Baseline plus Jukebox record/replay."""
     core = LukewarmCore(machine)
     jukebox = Jukebox(machine.jukebox)
@@ -144,18 +218,21 @@ def run_jukebox(profile: FunctionProfile, machine: MachineParams,
                     jukebox=jukebox)
 
 
-def run_perfect_icache(profile: FunctionProfile, machine: MachineParams,
-                       cfg: RunConfig) -> SequenceResult:
+@register_config("perfect")
+def _build_perfect_icache(profile: FunctionProfile, machine: MachineParams,
+                          cfg: RunConfig) -> SequenceResult:
     """Baseline with an infinite, flush-surviving L1-I (upper bound)."""
     core = LukewarmCore(machine)
     core.hierarchy.perfect_icache = True
     return _measure(core, make_traces(profile, cfg), cfg, flush=True)
 
 
-def run_pif(profile: FunctionProfile, machine: MachineParams, cfg: RunConfig,
-            params: PIFParams,
-            with_jukebox: bool = False) -> SequenceResult:
+@register_config("pif")
+def _build_pif(profile: FunctionProfile, machine: MachineParams,
+               cfg: RunConfig, params: Optional[PIFParams] = None,
+               with_jukebox: bool = False) -> SequenceResult:
     """Baseline plus PIF (optionally combined with Jukebox, Fig. 13)."""
+    params = params if params is not None else PIFParams()
     core = LukewarmCore(machine)
     pif = PIF(params, core.hierarchy)
     if not with_jukebox:
@@ -198,12 +275,56 @@ class _TeeHook:
             hook.on_l2_inst_miss(vaddr, cycle)
 
 
+# ---------------------------------------------------------------------------
+# Deprecated closure-style entry points (pre-engine API).
+
+def _deprecated_forward(old_name: str, config: str) -> None:
+    warnings.warn(
+        f"{old_name}() is deprecated; use "
+        f"run_config(profile, machine, cfg, {config!r}) or submit a "
+        f"repro.engine Job",
+        DeprecationWarning, stacklevel=3)
+
+
+def run_reference(profile: FunctionProfile, machine: MachineParams,
+                  cfg: RunConfig) -> SequenceResult:
+    """Deprecated: use ``run_config(profile, machine, cfg, "reference")``."""
+    _deprecated_forward("run_reference", "reference")
+    return run_config(profile, machine, cfg, "reference")
+
+
+def run_baseline(profile: FunctionProfile, machine: MachineParams,
+                 cfg: RunConfig) -> SequenceResult:
+    """Deprecated: use ``run_config(profile, machine, cfg, "baseline")``."""
+    _deprecated_forward("run_baseline", "baseline")
+    return run_config(profile, machine, cfg, "baseline")
+
+
+def run_jukebox(profile: FunctionProfile, machine: MachineParams,
+                cfg: RunConfig) -> SequenceResult:
+    """Deprecated: use ``run_config(profile, machine, cfg, "jukebox")``."""
+    _deprecated_forward("run_jukebox", "jukebox")
+    return run_config(profile, machine, cfg, "jukebox")
+
+
+def run_perfect_icache(profile: FunctionProfile, machine: MachineParams,
+                       cfg: RunConfig) -> SequenceResult:
+    """Deprecated: use ``run_config(profile, machine, cfg, "perfect")``."""
+    _deprecated_forward("run_perfect_icache", "perfect")
+    return run_config(profile, machine, cfg, "perfect")
+
+
+def run_pif(profile: FunctionProfile, machine: MachineParams, cfg: RunConfig,
+            params: PIFParams,
+            with_jukebox: bool = False) -> SequenceResult:
+    """Deprecated: use ``run_config(..., "pif", params=..., with_jukebox=...)``."""
+    _deprecated_forward("run_pif", "pif")
+    return run_config(profile, machine, cfg, "pif", params=params,
+                      with_jukebox=with_jukebox)
+
+
 def run_all_configs(profile: FunctionProfile, machine: MachineParams,
                     cfg: RunConfig) -> Dict[str, SequenceResult]:
     """Reference, baseline, Jukebox and perfect-I$ for one function."""
-    return {
-        "reference": run_reference(profile, machine, cfg),
-        "baseline": run_baseline(profile, machine, cfg),
-        "jukebox": run_jukebox(profile, machine, cfg),
-        "perfect": run_perfect_icache(profile, machine, cfg),
-    }
+    return {name: run_config(profile, machine, cfg, name)
+            for name in ("reference", "baseline", "jukebox", "perfect")}

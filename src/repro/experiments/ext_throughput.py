@@ -19,8 +19,12 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.metrics import geomean
 from repro.analysis.report import format_table
-from repro.experiments.common import RunConfig, run_baseline, run_jukebox
+from repro.engine import sweep_configs
+from repro.experiments.common import RunConfig
 from repro.sim.params import MachineParams, skylake
+
+#: Registry configs this experiment sweeps per function.
+SWEEP_CONFIGS = ("baseline", "jukebox")
 
 
 @dataclass
@@ -74,9 +78,11 @@ def run(cfg: Optional[RunConfig] = None,
     cfg = cfg if cfg is not None else RunConfig()
     machine = machine if machine is not None else skylake()
     result = ThroughputResult(cores=cores, freq_ghz=machine.core.freq_ghz)
-    for profile in suite_subset(list(functions) if functions else None):
-        base = run_baseline(profile, machine, cfg)
-        jb = run_jukebox(profile, machine, cfg)
+    profiles = suite_subset(list(functions) if functions else None)
+    runs = sweep_configs(profiles, machine, cfg, SWEEP_CONFIGS)
+    for profile in profiles:
+        base = runs[profile.abbrev]["baseline"]
+        jb = runs[profile.abbrev]["jukebox"]
         n = len(base.results)
         result.entries.append(ThroughputEntry(
             abbrev=profile.abbrev,

@@ -17,7 +17,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table
-from repro.experiments.common import RunConfig, make_traces
+from repro.engine import Job, sweep
+from repro.experiments.common import (
+    RunConfig,
+    SequenceResult,
+    make_traces,
+    register_config,
+)
 from repro.server.stressor import Stressor
 from repro.sim.core import LukewarmCore
 from repro.sim.params import MachineParams, broadwell
@@ -27,6 +33,35 @@ from repro.workloads.suite import get_profile
 DEFAULT_IATS_MS = (0.0, 10.0, 100.0, 1000.0, 10000.0)
 DEFAULT_FUNCTIONS = ("Auth-P", "AES-N")
 DEFAULT_LOAD = 0.5
+
+#: Registry configs this experiment sweeps (one cell per (function, IAT)).
+SWEEP_CONFIGS = ("contended",)
+
+
+@register_config("contended")
+def _build_contended(profile, machine: MachineParams, cfg: RunConfig,
+                     iat_ms: float = 0.0,
+                     load: float = DEFAULT_LOAD) -> SequenceResult:
+    """One (function, IAT) cell: invocations on a high-occupancy server.
+
+    With ``iat_ms > 0`` the co-tenant stressor decays the function's
+    microarchitectural state during the idle gap and queues its DRAM
+    accesses behind tenant traffic; ``iat_ms == 0`` is the back-to-back
+    anchor.
+    """
+    stressor = Stressor(load=load, seed=cfg.seed)
+    core = LukewarmCore(machine)
+    measured = []
+    for i, trace in enumerate(make_traces(profile, cfg)):
+        if iat_ms > 0:
+            stressor.idle_gap(core, iat_ms)
+            stressor.apply_contention(core)
+        else:
+            stressor.clear_contention(core)
+        result = core.run(trace)
+        if i >= cfg.warmup:
+            measured.append(result)
+    return SequenceResult(results=measured)
 
 
 @dataclass
@@ -49,27 +84,15 @@ def run(cfg: Optional[RunConfig] = None,
     machine = machine if machine is not None else broadwell()
     result = Fig1Result(iats_ms=list(iats_ms), load=load)
 
+    jobs = [Job.make(get_profile(abbrev), machine, cfg, "contended",
+                     provider=__name__, iat_ms=float(iat), load=load)
+            for abbrev in functions for iat in iats_ms]
+    flat = iter(sweep(jobs))
     for abbrev in functions:
-        profile = get_profile(abbrev)
-        traces = make_traces(profile, cfg)
         series: List[float] = []
         back_to_back: Optional[float] = None
-        for iat in iats_ms:
-            stressor = Stressor(load=load, seed=cfg.seed)
-            core = LukewarmCore(machine)
-            cycles = 0.0
-            insts = 0
-            for i, trace in enumerate(traces):
-                if iat > 0:
-                    stressor.idle_gap(core, iat)
-                    stressor.apply_contention(core)
-                else:
-                    stressor.clear_contention(core)
-                r = core.run(trace)
-                if i >= cfg.warmup:
-                    cycles += r.cycles
-                    insts += r.instructions
-            cpi = cycles / max(1, insts)
+        for _ in iats_ms:
+            cpi = next(flat).cpi
             if back_to_back is None:
                 back_to_back = cpi  # the iat=0 point anchors normalization
             series.append(cpi / back_to_back)

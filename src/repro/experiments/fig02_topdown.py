@@ -16,13 +16,18 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_stacked_bars, format_table
-from repro.experiments.common import RunConfig, run_baseline, run_reference
+from repro.engine import sweep_configs
+from repro.experiments.common import RunConfig
 from repro.sim.params import MachineParams, broadwell
 from repro.sim.topdown import TopDownBreakdown
 from repro.workloads.suite import suite_subset
 
 CATEGORIES = ("retiring", "fetch_latency", "fetch_bandwidth",
               "bad_speculation", "backend_bound")
+
+#: Registry configs this experiment sweeps per function (Figs. 3 and 4
+#: are derived from the same runs).
+SWEEP_CONFIGS = ("reference", "baseline")
 
 
 @dataclass
@@ -82,9 +87,11 @@ def run(cfg: Optional[RunConfig] = None,
     cfg = cfg if cfg is not None else RunConfig()
     machine = machine if machine is not None else broadwell()
     result = Fig2Result()
-    for profile in suite_subset(list(functions) if functions else None):
-        ref = run_reference(profile, machine, cfg)
-        itl = run_baseline(profile, machine, cfg)
+    profiles = suite_subset(list(functions) if functions else None)
+    runs = sweep_configs(profiles, machine, cfg, SWEEP_CONFIGS)
+    for profile in profiles:
+        ref = runs[profile.abbrev]["reference"]
+        itl = runs[profile.abbrev]["baseline"]
         ref_td = sum((r.topdown for r in ref.results), TopDownBreakdown())
         itl_td = sum((r.topdown for r in itl.results), TopDownBreakdown())
         result.entries.append(Fig2Entry(

@@ -16,6 +16,9 @@ from repro.experiments import fig02_topdown
 from repro.experiments.common import RunConfig
 from repro.sim.params import MachineParams
 
+#: Derived from the Fig. 2 sweep (cache hits when Fig. 2 already ran).
+SWEEP_CONFIGS = fig02_topdown.SWEEP_CONFIGS
+
 
 @dataclass
 class Fig3Entry:

@@ -12,9 +12,13 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.analysis.report import format_table
-from repro.experiments.common import RunConfig, run_baseline, run_reference
+from repro.engine import sweep_configs
+from repro.experiments.common import RunConfig
 from repro.sim.params import MachineParams, broadwell
 from repro.workloads.suite import suite_subset
+
+#: Registry configs this experiment sweeps per function.
+SWEEP_CONFIGS = ("reference", "baseline")
 
 
 @dataclass
@@ -52,9 +56,11 @@ def run(cfg: Optional[RunConfig] = None,
     cfg = cfg if cfg is not None else RunConfig()
     machine = machine if machine is not None else broadwell()
     result = Fig5Result()
-    for profile in suite_subset(list(functions) if functions else None):
-        ref = run_reference(profile, machine, cfg)
-        itl = run_baseline(profile, machine, cfg)
+    profiles = suite_subset(list(functions) if functions else None)
+    runs = sweep_configs(profiles, machine, cfg, SWEEP_CONFIGS)
+    for profile in profiles:
+        ref = runs[profile.abbrev]["reference"]
+        itl = runs[profile.abbrev]["baseline"]
         result.entries.append(Fig5Entry(
             abbrev=profile.abbrev,
             l2_ref_inst=ref.mean_mpki("l2", "inst"),

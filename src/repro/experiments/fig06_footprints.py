@@ -17,11 +17,29 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import pairwise_jaccard, summarize_distribution
 from repro.analysis.report import format_table
-from repro.experiments.common import RunConfig, make_model
+from repro.engine import Job, sweep
+from repro.experiments.common import RunConfig, make_model, register_config
 from repro.units import KB
 from repro.workloads.suite import suite_subset
 
 DEFAULT_INVOCATIONS = 25
+
+#: Registry configs this experiment sweeps (trace-only, no timing model).
+SWEEP_CONFIGS = ("footprints",)
+
+
+@register_config("footprints")
+def _build_footprints(profile, machine, cfg: RunConfig,
+                      invocations: int = DEFAULT_INVOCATIONS):
+    """Per-invocation instruction footprints (block sets) of one function.
+
+    ``machine`` is ignored -- footprints depend only on the trace
+    generator -- so jobs submit it as ``None``, keeping the cache key
+    machine-independent.
+    """
+    model = make_model(profile, cfg)
+    return [model.invocation_trace(i).instruction_blocks()
+            for i in range(invocations)]
 
 
 @dataclass
@@ -53,10 +71,10 @@ def run(cfg: Optional[RunConfig] = None,
         invocations: int = DEFAULT_INVOCATIONS) -> Fig6Result:
     cfg = cfg if cfg is not None else RunConfig()
     result = Fig6Result()
-    for profile in suite_subset(list(functions) if functions else None):
-        model = make_model(profile, cfg)
-        footprints = [model.invocation_trace(i).instruction_blocks()
-                      for i in range(invocations)]
+    profiles = suite_subset(list(functions) if functions else None)
+    jobs = [Job.make(p, None, cfg, "footprints", provider=__name__,
+                     invocations=invocations) for p in profiles]
+    for profile, footprints in zip(profiles, sweep(jobs)):
         sizes = [len(fp) * 64.0 for fp in footprints]
         indices = pairwise_jaccard(footprints)
         result.entries.append(Fig6Entry(

@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.core.recorder import record_miss_stream
-from repro.experiments.common import RunConfig, make_traces
+from repro.engine import Job, sweep
+from repro.experiments.common import RunConfig, make_traces, register_config
 from repro.sim.core import LukewarmCore
 from repro.sim.params import JukeboxParams, MachineParams, skylake
 from repro.units import KB
@@ -23,6 +24,10 @@ from repro.workloads.suite import suite_subset
 
 DEFAULT_REGION_SIZES = (128, 256, 512, 1 * KB, 2 * KB, 4 * KB, 8 * KB)
 DEFAULT_CRRB_SIZES = (8, 16, 32)
+
+#: Registry configs this experiment sweeps (the region/CRRB grid is then
+#: replayed over each recorded stream in-process -- it is pure and cheap).
+SWEEP_CONFIGS = ("miss_stream",)
 
 
 class _MissCollector:
@@ -38,6 +43,7 @@ class _MissCollector:
         pass
 
 
+@register_config("miss_stream")
 def collect_miss_stream(profile, machine: MachineParams,
                         cfg: RunConfig) -> List[int]:
     """The L2-I miss stream of one lukewarm invocation."""
@@ -79,8 +85,10 @@ def run(cfg: Optional[RunConfig] = None,
     machine = machine if machine is not None else skylake()
     result = Fig8Result(region_sizes=list(region_sizes),
                         crrb_sizes=list(crrb_sizes))
-    for profile in suite_subset(list(functions) if functions else None):
-        stream = collect_miss_stream(profile, machine, cfg)
+    profiles = suite_subset(list(functions) if functions else None)
+    jobs = [Job.make(p, machine, cfg, "miss_stream", provider=__name__)
+            for p in profiles]
+    for profile, stream in zip(profiles, sweep(jobs)):
         result.functions.append(profile.abbrev)
         for crrb in crrb_sizes:
             for region_size in region_sizes:

@@ -14,12 +14,16 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import geomean_speedup, speedup
 from repro.analysis.report import format_table
-from repro.experiments.common import RunConfig, run_baseline, run_jukebox
+from repro.engine import Job, sweep
+from repro.experiments.common import RunConfig
 from repro.sim.params import JukeboxParams, MachineParams, skylake
 from repro.units import KB
 from repro.workloads.suite import REPRESENTATIVES, suite_subset
 
 DEFAULT_BUDGETS = (8 * KB, 12 * KB, 16 * KB, 32 * KB)
+
+#: Registry configs this experiment sweeps (jukebox once per budget).
+SWEEP_CONFIGS = ("baseline", "jukebox")
 
 
 @dataclass
@@ -51,21 +55,26 @@ def run(cfg: Optional[RunConfig] = None,
                         representatives=[a for a in REPRESENTATIVES
                                          if any(p.abbrev == a for p in profiles)])
 
-    base_cycles: Dict[str, float] = {}
-    for profile in profiles:
-        base_cycles[profile.abbrev] = run_baseline(profile, machine, cfg).cycles
-
-    for budget in budgets:
-        jb_params = JukeboxParams(
+    # One flat job list -- baselines plus every (budget x function) cell --
+    # so a parallel executor sees the whole frontier at once.
+    machines = {
+        budget: machine.with_jukebox(JukeboxParams(
             crrb_entries=machine.jukebox.crrb_entries,
             region_size=machine.jukebox.region_size,
             metadata_bytes=budget,
-        )
-        m = machine.with_jukebox(jb_params)
+        ))
+        for budget in budgets
+    }
+    jobs = [Job.make(p, machine, cfg, "baseline") for p in profiles]
+    jobs += [Job.make(p, machines[budget], cfg, "jukebox")
+             for budget in budgets for p in profiles]
+    runs = iter(sweep(jobs))
+    base_cycles: Dict[str, float] = {
+        p.abbrev: next(runs).cycles for p in profiles}
+    for budget in budgets:
         per_fn: List[float] = []
         for profile in profiles:
-            jb = run_jukebox(profile, m, cfg)
-            s = speedup(base_cycles[profile.abbrev], jb.cycles)
+            s = speedup(base_cycles[profile.abbrev], next(runs).cycles)
             result.speedups.setdefault(profile.abbrev, {})[budget] = s
             per_fn.append(s)
         result.geomean[budget] = geomean_speedup(per_fn)

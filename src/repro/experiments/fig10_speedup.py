@@ -16,14 +16,13 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.metrics import geomean_speedup, speedup
 from repro.analysis.report import format_table
-from repro.experiments.common import (
-    RunConfig,
-    run_baseline,
-    run_jukebox,
-    run_perfect_icache,
-)
+from repro.engine import sweep_configs
+from repro.experiments.common import RunConfig
 from repro.sim.params import MachineParams, skylake
 from repro.workloads.suite import suite_subset
+
+#: Registry configs this experiment sweeps per function.
+SWEEP_CONFIGS = ("baseline", "jukebox", "perfect")
 
 
 @dataclass
@@ -63,10 +62,11 @@ def run(cfg: Optional[RunConfig] = None,
     cfg = cfg if cfg is not None else RunConfig()
     machine = machine if machine is not None else skylake()
     result = Fig10Result()
-    for profile in suite_subset(list(functions) if functions else None):
-        base = run_baseline(profile, machine, cfg)
-        jb = run_jukebox(profile, machine, cfg)
-        pf = run_perfect_icache(profile, machine, cfg)
+    profiles = suite_subset(list(functions) if functions else None)
+    runs = sweep_configs(profiles, machine, cfg, SWEEP_CONFIGS)
+    for profile in profiles:
+        cell = runs[profile.abbrev]
+        base, jb, pf = cell["baseline"], cell["jukebox"], cell["perfect"]
         result.entries.append(Fig10Entry(
             abbrev=profile.abbrev,
             baseline_cpi=base.cpi,

@@ -13,10 +13,14 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.analysis.report import format_table
-from repro.experiments.common import RunConfig, run_baseline, run_jukebox
+from repro.engine import sweep_configs
+from repro.experiments.common import RunConfig
 from repro.sim.params import MachineParams, skylake
 from repro.workloads.profiles import LANG_GO
 from repro.workloads.suite import suite_subset
+
+#: Registry configs this experiment sweeps per function.
+SWEEP_CONFIGS = ("baseline", "jukebox")
 
 
 @dataclass
@@ -72,9 +76,11 @@ def run(cfg: Optional[RunConfig] = None,
     cfg = cfg if cfg is not None else RunConfig()
     machine = machine if machine is not None else skylake()
     result = Fig11Result()
-    for profile in suite_subset(list(functions) if functions else None):
-        base = run_baseline(profile, machine, cfg)
-        jb = run_jukebox(profile, machine, cfg)
+    profiles = suite_subset(list(functions) if functions else None)
+    runs = sweep_configs(profiles, machine, cfg, SWEEP_CONFIGS)
+    for profile in profiles:
+        base = runs[profile.abbrev]["baseline"]
+        jb = runs[profile.abbrev]["jukebox"]
         n = max(1, len(jb.jukebox_reports))
         covered = sum(r.replay.covered for r in jb.jukebox_reports) / n
         over = sum(r.replay.overpredicted for r in jb.jukebox_reports) / n

@@ -13,10 +13,14 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.analysis.report import format_table
-from repro.experiments.common import RunConfig, run_baseline, run_jukebox
+from repro.engine import sweep_configs
+from repro.experiments.common import RunConfig
 from repro.sim.params import MachineParams, skylake
 from repro.sim.stats import MemoryTraffic
 from repro.workloads.suite import suite_subset
+
+#: Registry configs this experiment sweeps per function.
+SWEEP_CONFIGS = ("baseline", "jukebox")
 
 
 @dataclass
@@ -85,9 +89,11 @@ def run(cfg: Optional[RunConfig] = None,
     cfg = cfg if cfg is not None else RunConfig()
     machine = machine if machine is not None else skylake()
     result = Fig12Result()
-    for profile in suite_subset(list(functions) if functions else None):
-        base = run_baseline(profile, machine, cfg)
-        jb = run_jukebox(profile, machine, cfg)
+    profiles = suite_subset(list(functions) if functions else None)
+    runs = sweep_configs(profiles, machine, cfg, SWEEP_CONFIGS)
+    for profile in profiles:
+        base = runs[profile.abbrev]["baseline"]
+        jb = runs[profile.abbrev]["jukebox"]
         base_traffic = _sum_traffic(base.results)
         jb_traffic = _sum_traffic(jb.results)
         # Replay traffic (prefetch fills, metadata reads) is charged at

@@ -18,16 +18,16 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.metrics import geomean_speedup, speedup
 from repro.analysis.report import format_table
 from repro.core.pif import PIFParams, pif_ideal_params
-from repro.experiments.common import (
-    RunConfig,
-    run_baseline,
-    run_jukebox,
-    run_pif,
-)
+from repro.engine import Job, sweep
+from repro.experiments.common import RunConfig
 from repro.sim.params import MachineParams, skylake
 from repro.workloads.suite import REPRESENTATIVES, suite_subset
 
 CONFIGS = ("pif", "pif_ideal", "jukebox", "jukebox_pif_ideal")
+
+#: Registry configs this experiment sweeps ("pif" covers the PIF-ideal
+#: and JB+PIF variants via its params/with_jukebox options).
+SWEEP_CONFIGS = ("baseline", "pif", "jukebox")
 
 
 @dataclass
@@ -54,18 +54,27 @@ def run(cfg: Optional[RunConfig] = None,
 
     pif_params = PIFParams()
     ideal_params = pif_ideal_params()
+    cell_opts = {
+        "pif": {"params": pif_params},
+        "pif_ideal": {"params": ideal_params},
+        "jukebox": {},
+        "jukebox_pif_ideal": {"params": ideal_params, "with_jukebox": True},
+    }
+    registry_config = {"pif": "pif", "pif_ideal": "pif", "jukebox": "jukebox",
+                       "jukebox_pif_ideal": "pif"}
+    jobs = []
     for profile in profiles:
-        base_cycles = run_baseline(profile, machine, cfg).cycles
-        runs = {
-            "pif": run_pif(profile, machine, cfg, pif_params),
-            "pif_ideal": run_pif(profile, machine, cfg, ideal_params),
-            "jukebox": run_jukebox(profile, machine, cfg),
-            "jukebox_pif_ideal": run_pif(profile, machine, cfg, ideal_params,
-                                         with_jukebox=True),
-        }
-        for config, seq in runs.items():
+        jobs.append(Job.make(profile, machine, cfg, "baseline"))
+        for config in CONFIGS:
+            jobs.append(Job.make(profile, machine, cfg,
+                                 registry_config[config],
+                                 **cell_opts[config]))
+    flat = iter(sweep(jobs))
+    for profile in profiles:
+        base_cycles = next(flat).cycles
+        for config in CONFIGS:
             result.speedups[config][profile.abbrev] = speedup(
-                base_cycles, seq.cycles)
+                base_cycles, next(flat).cycles)
     return result
 
 

@@ -5,17 +5,27 @@ Usage (installed as ``lukewarm-repro``)::
     lukewarm-repro list
     lukewarm-repro fig10                 # full scale
     lukewarm-repro fig10 --fast          # reduced scale
-    lukewarm-repro fig01 fig02 --fast
-    lukewarm-repro all --fast
+    lukewarm-repro fig01 fig02 --fast --jobs 4
+    lukewarm-repro all --fast --no-cache
+    lukewarm-repro fig05 --fast --json
+
+Simulation cells are dispatched through :mod:`repro.engine`: ``--jobs``
+fans them out over worker processes (results stay bit-identical to a
+serial run) and a content-addressed cache under ``--cache-dir`` memoizes
+each cell so re-runs skip simulation entirely.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
-from typing import Callable, Dict, List, NamedTuple, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
+from repro import engine
 from repro.experiments import (
     ext_throughput,
     fig01_iat,
@@ -36,50 +46,63 @@ from repro.experiments import (
 )
 from repro.experiments.common import RunConfig
 
+#: Environment variable overriding the default result-cache location.
+CACHE_DIR_ENV = "LUKEWARM_CACHE_DIR"
+
 
 class Experiment(NamedTuple):
     name: str
     description: str
     run: Callable
     render: Callable
+    configs: Tuple[str, ...] = ()
+
+
+def _experiment(name: str, description: str, module) -> Experiment:
+    return Experiment(name, description, module.run, module.render,
+                      tuple(getattr(module, "SWEEP_CONFIGS", ())))
 
 
 EXPERIMENTS: Dict[str, Experiment] = {
-    "fig01": Experiment("fig01", "CPI vs. inter-arrival time",
-                        fig01_iat.run, fig01_iat.render),
-    "fig02": Experiment("fig02", "Top-Down CPI stacks",
-                        fig02_topdown.run, fig02_topdown.render),
-    "fig03": Experiment("fig03", "front-end stall split",
-                        fig03_frontend.run, fig03_frontend.render),
-    "fig04": Experiment("fig04", "mean CPI breakdown",
-                        fig04_cpi_breakdown.run, fig04_cpi_breakdown.render),
-    "fig05": Experiment("fig05", "L2/L3 MPKI breakdowns",
-                        fig05_mpki.run, fig05_mpki.render),
-    "fig06": Experiment("fig06", "footprints and commonality",
-                        fig06_footprints.run, fig06_footprints.render),
-    "fig08": Experiment("fig08", "metadata size vs. region size",
-                        fig08_metadata.run, fig08_metadata.render),
-    "fig09": Experiment("fig09", "speedup vs. metadata budget",
-                        fig09_storage.run, fig09_storage.render),
-    "fig10": Experiment("fig10", "main speedup result",
-                        fig10_speedup.run, fig10_speedup.render),
-    "fig11": Experiment("fig11", "miss coverage",
-                        fig11_coverage.run, fig11_coverage.render),
-    "fig12": Experiment("fig12", "memory-bandwidth overhead",
-                        fig12_bandwidth.run, fig12_bandwidth.render),
-    "fig13": Experiment("fig13", "PIF comparison",
-                        fig13_pif.run, fig13_pif.render),
-    "table1": Experiment("table1", "simulated processor parameters",
-                         table1_config.run, table1_config.render),
-    "table2": Experiment("table2", "function suite",
-                         table2_workloads.run, table2_workloads.render),
-    "table3": Experiment("table3", "MPKI reduction, Skylake vs. Broadwell",
-                         table3_mpki_reduction.run,
-                         table3_mpki_reduction.render),
-    "throughput": Experiment("throughput",
-                             "extension: server capacity uplift",
-                             ext_throughput.run, ext_throughput.render),
+    "fig01": _experiment("fig01", "CPI vs. inter-arrival time", fig01_iat),
+    "fig02": _experiment("fig02", "Top-Down CPI stacks", fig02_topdown),
+    "fig03": _experiment("fig03", "front-end stall split", fig03_frontend),
+    "fig04": _experiment("fig04", "mean CPI breakdown", fig04_cpi_breakdown),
+    "fig05": _experiment("fig05", "L2/L3 MPKI breakdowns", fig05_mpki),
+    "fig06": _experiment("fig06", "footprints and commonality",
+                         fig06_footprints),
+    "fig08": _experiment("fig08", "metadata size vs. region size",
+                         fig08_metadata),
+    "fig09": _experiment("fig09", "speedup vs. metadata budget",
+                         fig09_storage),
+    "fig10": _experiment("fig10", "main speedup result", fig10_speedup),
+    "fig11": _experiment("fig11", "miss coverage", fig11_coverage),
+    "fig12": _experiment("fig12", "memory-bandwidth overhead",
+                         fig12_bandwidth),
+    "fig13": _experiment("fig13", "PIF comparison", fig13_pif),
+    "table1": _experiment("table1", "simulated processor parameters",
+                          table1_config),
+    "table2": _experiment("table2", "function suite", table2_workloads),
+    "table3": _experiment("table3", "MPKI reduction, Skylake vs. Broadwell",
+                          table3_mpki_reduction),
+    "throughput": _experiment("throughput",
+                              "extension: server capacity uplift",
+                              ext_throughput),
 }
+
+
+def default_cache_dir() -> Path:
+    """Resolve the on-disk result cache location.
+
+    ``LUKEWARM_CACHE_DIR`` wins; otherwise ``$XDG_CACHE_HOME`` (or
+    ``~/.cache``) plus ``lukewarm-repro``.
+    """
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "lukewarm-repro"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,6 +117,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--functions", nargs="*", default=None,
                         help="restrict to these function abbreviations")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="simulate up to N cells in parallel "
+                             "(default: 1, serial)")
+    parser.add_argument("--cache-dir", type=Path, default=None, metavar="PATH",
+                        help="result cache location (default: "
+                             f"${CACHE_DIR_ENV} or ~/.cache/lukewarm-repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache for this run")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit reports plus engine stats as JSON")
     return parser
 
 
@@ -108,12 +141,17 @@ def run_experiment(name: str, cfg: RunConfig,
     return exp.render(result)
 
 
+def _print_listing() -> None:
+    for exp in EXPERIMENTS.values():
+        sweeps = f"  [{', '.join(exp.configs)}]" if exp.configs else ""
+        print(f"{exp.name:8s} {exp.description}{sweeps}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     names = list(args.experiments)
     if "list" in names:
-        for exp in EXPERIMENTS.values():
-            print(f"{exp.name:8s} {exp.description}")
+        _print_listing()
         return 0
     if "all" in names:
         names = list(EXPERIMENTS)
@@ -122,14 +160,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    cfg = RunConfig.fast() if args.fast else RunConfig.full()
-    cfg = RunConfig(invocations=cfg.invocations, warmup=cfg.warmup,
-                    seed=args.seed, instruction_scale=cfg.instruction_scale)
-    for name in names:
-        started = time.time()
-        print(f"== {name}: {EXPERIMENTS[name].description} ==")
-        print(run_experiment(name, cfg, args.functions))
-        print(f"-- {name} done in {time.time() - started:.1f}s --\n")
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    cfg = (RunConfig.fast() if args.fast else RunConfig.full()).replace(
+        seed=args.seed)
+    cache_dir: Optional[Path]
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
+    records: List[Dict[str, object]] = []
+    with engine.configure(jobs=args.jobs, cache_dir=cache_dir,
+                          clock=time.perf_counter) as ctx:
+        for name in names:
+            before = ctx.stats.snapshot()
+            started = time.time()
+            report = run_experiment(name, cfg, args.functions)
+            seconds = time.time() - started
+            delta = ctx.stats.since(before)
+            if args.as_json:
+                records.append({
+                    "experiment": name,
+                    "description": EXPERIMENTS[name].description,
+                    "seconds": round(seconds, 3),
+                    "report": report,
+                    "engine": {
+                        "cells": delta.jobs,
+                        "cache_hits": delta.hits,
+                        "simulated": delta.misses,
+                        "sim_seconds": round(delta.sim_seconds, 3),
+                    },
+                })
+            else:
+                print(f"== {name}: {EXPERIMENTS[name].description} ==")
+                print(report)
+                print(f"-- {name} done in {seconds:.1f}s "
+                      f"({delta.describe()}) --\n")
+    if args.as_json:
+        print(json.dumps(records, indent=2))
     return 0
 
 

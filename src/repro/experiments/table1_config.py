@@ -15,6 +15,9 @@ from repro.analysis.report import format_table
 from repro.sim.params import MachineParams, skylake
 from repro.units import KB
 
+#: No simulation cells: the table is read straight off MachineParams.
+SWEEP_CONFIGS = ()
+
 
 @dataclass
 class Table1Result:

@@ -14,6 +14,9 @@ from repro.analysis.report import format_table
 from repro.workloads.profiles import FunctionProfile
 from repro.workloads.suite import SUITE
 
+#: No simulation cells: the table is read straight off the suite.
+SWEEP_CONFIGS = ()
+
 
 @dataclass
 class Table2Result:

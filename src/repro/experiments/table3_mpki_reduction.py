@@ -17,9 +17,13 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.metrics import geomean_speedup, percent_change, speedup
 from repro.analysis.report import format_table
-from repro.experiments.common import RunConfig, run_baseline, run_jukebox
+from repro.engine import sweep_configs
+from repro.experiments.common import RunConfig
 from repro.sim.params import MODE_EVALUATION, broadwell, skylake
 from repro.workloads.suite import suite_subset
+
+#: Registry configs this experiment sweeps per function (on both machines).
+SWEEP_CONFIGS = ("baseline", "jukebox")
 
 
 @dataclass
@@ -51,9 +55,10 @@ def run(cfg: Optional[RunConfig] = None,
     for m in machines:
         base_l2 = base_llc = jb_l2 = jb_llc = 0.0
         speedups: List[float] = []
+        runs = sweep_configs(profiles, m, cfg, SWEEP_CONFIGS)
         for profile in profiles:
-            base = run_baseline(profile, m, cfg)
-            jb = run_jukebox(profile, m, cfg)
+            base = runs[profile.abbrev]["baseline"]
+            jb = runs[profile.abbrev]["jukebox"]
             base_l2 += base.mean_mpki("l2", "inst")
             base_llc += base.mean_mpki("llc", "inst")
             jb_l2 += jb.mean_mpki("l2", "inst")

@@ -404,7 +404,7 @@ class WallClock(Rule):
     id = "REPRO006"
     severity = "error"
     autofixable = True
-    scopes = ("sim/", "core/", "analysis/", "workloads/")
+    scopes = ("sim/", "core/", "analysis/", "workloads/", "engine/")
     description = ("wall-clock / nondeterministic call in a simulation "
                    "path; use simulated cycles and sorted listings")
 

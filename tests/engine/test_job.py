@@ -1,0 +1,120 @@
+"""Job fingerprinting: stable addresses, sensitive to every ingredient."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import Job, canonicalize, code_version, fingerprint
+from repro.errors import ConfigurationError
+from repro.experiments.common import RunConfig
+from repro.sim.params import skylake
+from repro.workloads.suite import get_profile
+
+CFG = RunConfig(invocations=2, warmup=1, instruction_scale=0.1)
+
+
+def _job(**overrides):
+    base = dict(profile=get_profile("Auth-G"), machine=skylake(),
+                cfg=CFG, config="baseline")
+    base.update(overrides)
+    return Job.make(**base)
+
+
+class TestKeyStability:
+    def test_same_inputs_same_key(self):
+        assert _job().key() == _job().key()
+
+    def test_key_is_hex_digest(self):
+        key = _job().key()
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_stable_across_processes(self):
+        """The content address must not depend on interpreter state
+        (id(), hash randomization, dict order) -- a fresh process must
+        derive the same key, or the on-disk cache is per-process."""
+        code = (
+            "from repro.engine import Job\n"
+            "from repro.experiments.common import RunConfig\n"
+            "from repro.sim.params import skylake\n"
+            "from repro.workloads.suite import get_profile\n"
+            "cfg = RunConfig(invocations=2, warmup=1, instruction_scale=0.1)\n"
+            "job = Job.make(get_profile('Auth-G'), skylake(), cfg,"
+            " 'baseline')\n"
+            "print(job.key())\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "src")
+        env["PYTHONPATH"] = src
+        env["PYTHONHASHSEED"] = "12345"
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == _job().key()
+
+
+class TestKeySensitivity:
+    def test_profile_changes_key(self):
+        assert _job().key() != _job(profile=get_profile("Email-P")).key()
+
+    def test_machine_changes_key(self):
+        from repro.sim.params import broadwell
+        assert _job().key() != _job(machine=broadwell()).key()
+
+    def test_cfg_changes_key(self):
+        assert _job().key() != _job(cfg=CFG.replace(seed=7)).key()
+
+    def test_config_name_changes_key(self):
+        assert _job().key() != _job(config="jukebox").key()
+
+    def test_opts_change_key(self):
+        assert _job().key() != _job(with_jukebox=True).key()
+
+    def test_opts_order_is_irrelevant(self):
+        a = _job(alpha=1, beta=2)
+        b = _job(beta=2, alpha=1)
+        assert a.key() == b.key()
+
+
+class TestCanonicalize:
+    def test_dataclass_tagged_with_classname(self):
+        canon = canonicalize(CFG)
+        assert canon["__dataclass__"] == "RunConfig"
+        assert canon["seed"] == CFG.seed
+
+    def test_rejects_unpicklable_values(self):
+        with pytest.raises(ConfigurationError):
+            canonicalize(lambda: None)
+
+    def test_fingerprint_of_equal_dicts(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+
+class TestCodeVersion:
+    def test_cached_and_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+    def test_key_includes_code_version(self):
+        """Documented coupling: editing the simulator must invalidate
+        memoized results (key embeds code_version())."""
+        job = _job()
+        assert code_version()  # non-empty -> participates in the digest
+        assert job.key() == job.key()
+
+
+class TestJobShape:
+    def test_function_property(self):
+        assert _job().function == "Auth-G"
+
+    def test_describe_mentions_config_and_function(self):
+        text = _job().describe()
+        assert "Auth-G" in text and "baseline" in text
+
+    def test_opts_roundtrip(self):
+        job = _job(params=None, with_jukebox=True)
+        assert job.opts_dict() == {"params": None, "with_jukebox": True}

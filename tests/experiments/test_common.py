@@ -5,9 +5,13 @@ import pytest
 from repro.core.pif import PIFParams, pif_ideal_params
 from repro.errors import ConfigurationError
 from repro.experiments.common import (
+    CONFIGS,
     RunConfig,
+    config_names,
+    register_config,
     run_all_configs,
     run_baseline,
+    run_config,
     run_jukebox,
     run_perfect_icache,
     run_pif,
@@ -23,6 +27,12 @@ class TestRunConfig:
         with pytest.raises(ConfigurationError):
             RunConfig(invocations=2, warmup=2)
 
+    def test_rejects_nonpositive_instruction_scale(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(invocations=3, warmup=1, instruction_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            RunConfig(invocations=3, warmup=1, instruction_scale=-0.5)
+
     def test_fast_preset_is_scaled(self):
         fast = RunConfig.fast()
         assert fast.instruction_scale < 1.0
@@ -31,6 +41,82 @@ class TestRunConfig:
     def test_full_preset(self):
         full = RunConfig.full()
         assert full.instruction_scale == 1.0
+
+    def test_replace_overrides_one_field(self):
+        cfg = CFG.replace(seed=9)
+        assert cfg.seed == 9
+        assert cfg.invocations == CFG.invocations
+        assert cfg is not CFG
+
+    def test_replace_revalidates(self):
+        with pytest.raises(ConfigurationError):
+            CFG.replace(warmup=CFG.invocations)
+        with pytest.raises(ConfigurationError):
+            CFG.replace(instruction_scale=0.0)
+
+
+class TestConfigRegistry:
+    def test_standard_configs_registered(self):
+        for name in ("reference", "baseline", "jukebox", "perfect", "pif"):
+            assert name in CONFIGS
+
+    def test_config_names_sorted(self):
+        names = config_names()
+        assert list(names) == sorted(names)
+        assert "baseline" in names
+
+    def test_run_config_dispatches(self, tiny_profile):
+        seq = run_config(tiny_profile, skylake(), CFG, "baseline")
+        assert seq.cycles > 0
+
+    def test_run_config_forwards_opts(self, tiny_profile):
+        seq = run_config(tiny_profile, skylake(), CFG, "pif",
+                         params=pif_ideal_params(), with_jukebox=True)
+        assert seq.jukebox_reports
+
+    def test_unknown_config_is_configuration_error(self, tiny_profile):
+        with pytest.raises(ConfigurationError, match="unknown config"):
+            run_config(tiny_profile, skylake(), CFG, "warp-drive")
+
+    def test_double_registration_rejected(self):
+        @register_config("_test_cfg_dup")
+        def _build(profile, machine, cfg):
+            return None
+
+        # Same function object again: idempotent (module re-imports).
+        assert register_config("_test_cfg_dup")(_build) is _build
+        with pytest.raises(ConfigurationError):
+            @register_config("_test_cfg_dup")
+            def _other(profile, machine, cfg):
+                return None
+        del CONFIGS["_test_cfg_dup"]
+
+
+class TestDeprecatedWrappers:
+    def test_wrappers_warn_and_forward(self, tiny_profile):
+        m = skylake()
+        cases = [
+            (run_reference, "reference", {}),
+            (run_baseline, "baseline", {}),
+            (run_jukebox, "jukebox", {}),
+            (run_perfect_icache, "perfect", {}),
+        ]
+        for wrapper, config, opts in cases:
+            with pytest.warns(DeprecationWarning, match=wrapper.__name__):
+                via_wrapper = wrapper(tiny_profile, m, CFG, **opts)
+            direct = run_config(tiny_profile, m, CFG, config, **opts)
+            assert via_wrapper.cycles == direct.cycles
+            assert via_wrapper.instructions == direct.instructions
+
+    def test_pif_wrapper_forwards_params(self, tiny_profile):
+        m = skylake()
+        params = pif_ideal_params()
+        with pytest.warns(DeprecationWarning, match="run_pif"):
+            via_wrapper = run_pif(tiny_profile, m, CFG, params,
+                                  with_jukebox=True)
+        direct = run_config(tiny_profile, m, CFG, "pif", params=params,
+                            with_jukebox=True)
+        assert via_wrapper.cycles == direct.cycles
 
 
 class TestDrivers:

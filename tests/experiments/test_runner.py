@@ -1,8 +1,17 @@
 """Tests for the lukewarm-repro CLI."""
 
+import json
+from pathlib import Path
+
 import pytest
 
-from repro.experiments.runner import EXPERIMENTS, build_parser, main, run_experiment
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    build_parser,
+    default_cache_dir,
+    main,
+    run_experiment,
+)
 from repro.experiments.common import RunConfig
 
 
@@ -18,6 +27,12 @@ class TestRegistry:
             assert callable(exp.render)
             assert exp.description
 
+    def test_experiments_advertise_their_sweeps(self):
+        assert EXPERIMENTS["fig10"].configs == ("baseline", "jukebox",
+                                                "perfect")
+        assert EXPERIMENTS["fig05"].configs == ("reference", "baseline")
+        assert EXPERIMENTS["table2"].configs == ()
+
 
 class TestParser:
     def test_parses_names_and_flags(self):
@@ -31,6 +46,33 @@ class TestParser:
             ["fig10", "--functions", "Auth-G", "Pay-N"])
         assert args.functions == ["Auth-G", "Pay-N"]
 
+    def test_engine_flags(self):
+        args = build_parser().parse_args(
+            ["fig10", "--jobs", "4", "--cache-dir", "/tmp/x",
+             "--no-cache", "--json"])
+        assert args.jobs == 4
+        assert args.cache_dir == Path("/tmp/x")
+        assert args.no_cache
+        assert args.as_json
+
+    def test_engine_flag_defaults(self):
+        args = build_parser().parse_args(["fig10"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+        assert not args.as_json
+
+
+class TestCacheDir:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("LUKEWARM_CACHE_DIR", str(tmp_path / "env"))
+        assert default_cache_dir() == tmp_path / "env"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("LUKEWARM_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "lukewarm-repro"
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -38,13 +80,42 @@ class TestMain:
         out = capsys.readouterr().out
         assert "fig10" in out and "table3" in out
 
+    def test_list_shows_swept_configs(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "[baseline, jukebox, perfect]" in out
+
     def test_unknown_experiment(self, capsys):
         assert main(["fig99"]) == 2
         assert "unknown" in capsys.readouterr().err
 
+    def test_rejects_nonpositive_jobs(self, capsys):
+        assert main(["table2", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
     def test_runs_cheap_experiment(self, capsys):
         assert main(["table2"]) == 0
-        assert "Table 2" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "engine: no simulation cells" in out
+
+    def test_json_output(self, capsys):
+        assert main(["table2", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records[0]["experiment"] == "table2"
+        assert "Table 2" in records[0]["report"]
+        assert records[0]["engine"]["cells"] == 0
+
+    def test_warm_cache_run_skips_simulation(self, capsys, tmp_path):
+        argv = ["fig06", "--fast", "--functions", "Auth-G",
+                "--cache-dir", str(tmp_path / "cache"), "--json"]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)[0]["engine"]
+        assert cold["simulated"] > 0
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)[0]["engine"]
+        assert warm["simulated"] == 0
+        assert warm["cache_hits"] == cold["simulated"]
 
     def test_run_experiment_helper(self):
         cfg = RunConfig(invocations=3, warmup=1, instruction_scale=0.15)

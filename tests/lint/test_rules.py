@@ -63,6 +63,14 @@ class TestScopeKey:
         assert rule.applies_to("sim/cache.py")
         assert not rule.applies_to("sim/params.py")
 
+    def test_wallclock_covers_engine(self):
+        # The sweep engine must never read host time (its timing comes
+        # from an injected clock), so REPRO006 polices it too.
+        rule = get_rule("REPRO006")
+        assert rule.applies_to("engine/executors.py")
+        assert rule.applies_to("engine/sweep.py")
+        assert not rule.applies_to("experiments/runner.py")
+
 
 class TestREPRO001:
     def test_positive(self, fixture_violations):
