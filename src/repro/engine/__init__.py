@@ -35,6 +35,7 @@ from repro.engine.job import (
     canonicalize,
     code_version,
     fingerprint,
+    provider_version,
 )
 from repro.engine.sweep import (
     EngineContext,
@@ -62,6 +63,7 @@ __all__ = [
     "execute_job",
     "fingerprint",
     "get_executor",
+    "provider_version",
     "sweep",
     "sweep_configs",
 ]

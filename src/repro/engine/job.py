@@ -9,9 +9,11 @@ Because a job is plain frozen data rather than a closure, it can cross
 process boundaries to a worker pool and it has a *stable identity*:
 :meth:`Job.key` hashes the canonical JSON encoding of every input that can
 affect the result -- profile, machine parameters, run configuration,
-config name, options -- plus :func:`code_version`, a digest of the
-simulation sources, so editing the simulator transparently invalidates
-every memoized result.
+config name, provider module, options -- plus :func:`code_version`, a
+digest of the simulation sources, and :func:`provider_version`, a digest
+of the module that registers the job's config builder, so editing the
+simulator or any builder transparently invalidates every affected
+memoized result.
 
 This module deliberately imports nothing from ``repro.experiments`` or
 ``repro.sim``: the engine layer only describes and transports work; the
@@ -64,11 +66,62 @@ def code_version() -> str:
     return digest.hexdigest()[:16]
 
 
+@lru_cache(maxsize=None)
+def provider_version(provider: str) -> str:
+    """Digest of the source file behind a provider module.
+
+    Config builders registered outside the :func:`code_version` subtrees
+    (e.g. ``contended`` in ``fig01_iat``, ``footprints`` in fig06,
+    ``miss_stream`` in fig08) contain real measurement logic, so every
+    job also fingerprints the module providing its config: editing a
+    builder invalidates exactly that provider's memoized cells.
+    """
+    return hashlib.sha256(
+        _provider_source(provider).read_bytes()).hexdigest()[:16]
+
+
+def _provider_source(module: str) -> Path:
+    """Locate a module's source file without importing it.
+
+    ``repro.*`` modules resolve against the installed package root; other
+    modules fall back to :func:`importlib.util.find_spec`.  A provider
+    whose source cannot be found is an error -- its cells must never be
+    cached without code fingerprinting.
+    """
+    import repro
+
+    parts = module.split(".")
+    if parts[0] == "repro":
+        base = Path(repro.__file__).resolve().parent.joinpath(*parts[1:])
+        for candidate in (base.with_suffix(".py"), base / "__init__.py"):
+            if candidate.is_file():
+                return candidate
+    else:
+        import importlib.util
+
+        try:
+            spec = importlib.util.find_spec(module)
+        except (ImportError, ValueError):
+            spec = None
+        if spec is not None and spec.origin:
+            origin = Path(spec.origin)
+            if origin.is_file():
+                return origin
+    raise ConfigurationError(
+        f"cannot locate source for provider module {module!r}; "
+        f"its jobs cannot be fingerprinted"
+    )
+
+
 def canonicalize(value: Any) -> Any:
     """Reduce ``value`` to JSON-encodable data with a deterministic shape.
 
-    Dataclasses become name-tagged field dicts, sets are sorted, dict keys
-    are stringified and sorted by ``json.dumps``.  Anything without an
+    Every container is tagged with its type (``["list", ...]`` vs
+    ``["tuple", ...]``) so distinct values never share a canonical form;
+    dataclasses become name-tagged field dicts; set elements are sorted by
+    their canonical JSON encoding, which is stable whatever the insertion
+    order of their members.  Dict keys must be strings -- stringifying
+    ``{1: x}`` would alias it with ``{"1": x}`` -- and anything without an
     obvious canonical form (open handles, closures, arbitrary objects) is
     rejected so it can never silently alias two distinct cells.
     """
@@ -78,11 +131,22 @@ def canonicalize(value: Any) -> Any:
         fields["__dataclass__"] = type(value).__name__
         return fields
     if isinstance(value, dict):
-        return {str(k): canonicalize(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [canonicalize(v) for v in value]
+        for key in value:
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"cannot fingerprint dict key {key!r}; keys must be "
+                    f"strings so they never alias their string forms"
+                )
+        return ["dict", {k: canonicalize(v) for k, v in value.items()}]
+    if isinstance(value, tuple):
+        return ["tuple", [canonicalize(v) for v in value]]
+    if isinstance(value, list):
+        return ["list", [canonicalize(v) for v in value]]
     if isinstance(value, (set, frozenset)):
-        return sorted((canonicalize(v) for v in value), key=repr)
+        elements = [canonicalize(v) for v in value]
+        elements.sort(key=lambda e: json.dumps(e, sort_keys=True,
+                                               separators=(",", ":")))
+        return ["set", elements]
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     raise ConfigurationError(
@@ -134,6 +198,8 @@ class Job:
         return fingerprint({
             "schema": SCHEMA_VERSION,
             "code": code_version(),
+            "provider": self.provider,
+            "provider_code": provider_version(self.provider),
             "profile": self.profile,
             "machine": self.machine,
             "cfg": self.cfg,

@@ -16,6 +16,7 @@ zero when none is configured.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
@@ -85,14 +86,21 @@ class EngineContext:
     clock: Optional[Callable[[], float]] = None
 
 
-#: Innermost-wins stack of active contexts; the root context is the
-#: zero-configuration default (serial, uncached).
-_CONTEXTS: List[EngineContext] = [EngineContext()]
+#: The zero-configuration default context (serial, uncached), shared by
+#: every thread that never calls :func:`configure`.
+_ROOT_CONTEXT = EngineContext()
+
+#: Innermost active context.  A :class:`~contextvars.ContextVar` rather
+#: than a module-global stack keeps nesting innermost-wins *per thread*
+#: (and per asyncio task): one thread's ``configure()`` exit can never
+#: pop a context that another thread pushed.
+_CONTEXT: ContextVar[EngineContext] = ContextVar(
+    "repro_engine_context", default=_ROOT_CONTEXT)
 
 
 def current_context() -> EngineContext:
     """The innermost active :class:`EngineContext`."""
-    return _CONTEXTS[-1]
+    return _CONTEXT.get()
 
 
 @contextmanager
@@ -105,11 +113,11 @@ def configure(jobs: int = 1,
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
     ctx = EngineContext(executor=get_executor(jobs), cache=cache, clock=clock)
-    _CONTEXTS.append(ctx)
+    token = _CONTEXT.set(ctx)
     try:
         yield ctx
     finally:
-        _CONTEXTS.pop()
+        _CONTEXT.reset(token)
 
 
 def sweep(jobs: Sequence[Job],

@@ -163,6 +163,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.no_cache and args.cache_dir is not None:
+        print("--no-cache and --cache-dir contradict each other; "
+              "pass at most one", file=sys.stderr)
+        return 2
     cfg = (RunConfig.fast() if args.fast else RunConfig.full()).replace(
         seed=args.seed)
     cache_dir: Optional[Path]

@@ -8,7 +8,13 @@ import sys
 
 import pytest
 
-from repro.engine import Job, canonicalize, code_version, fingerprint
+from repro.engine import (
+    Job,
+    canonicalize,
+    code_version,
+    fingerprint,
+    provider_version,
+)
 from repro.errors import ConfigurationError
 from repro.experiments.common import RunConfig
 from repro.sim.params import skylake
@@ -79,6 +85,13 @@ class TestKeySensitivity:
         b = _job(beta=2, alpha=1)
         assert a.key() == b.key()
 
+    def test_provider_changes_key(self):
+        """Two jobs differing only in provider must not share a cache
+        entry: their builders are different code."""
+        a = _job()
+        b = _job(provider="repro.experiments.fig01_iat")
+        assert a.key() != b.key()
+
 
 class TestCanonicalize:
     def test_dataclass_tagged_with_classname(self):
@@ -93,6 +106,27 @@ class TestCanonicalize:
     def test_fingerprint_of_equal_dicts(self):
         assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
 
+    def test_list_and_tuple_do_not_alias(self):
+        assert fingerprint([1, 2]) != fingerprint((1, 2))
+        assert fingerprint({"a": [1]}) != fingerprint({"a": (1,)})
+
+    def test_rejects_non_string_dict_keys(self):
+        """{1: x} stringified would collide with {"1": x}."""
+        with pytest.raises(ConfigurationError):
+            canonicalize({1: "x"})
+
+    def test_set_order_is_irrelevant(self):
+        a = fingerprint({"s": {("b", 2), ("a", 1)}})
+        b = fingerprint({"s": {("a", 1), ("b", 2)}})
+        assert a == b
+        assert fingerprint(frozenset({3, 1, 2})) == fingerprint({1, 2, 3})
+
+    def test_set_sorts_by_canonical_encoding_not_repr(self):
+        # Heterogeneous elements whose reprs would interleave with their
+        # canonical JSON forms still canonicalize deterministically.
+        assert (canonicalize({(1,), ("a",)})
+                == canonicalize({("a",), (1,)}))
+
 
 class TestCodeVersion:
     def test_cached_and_stable(self):
@@ -105,6 +139,45 @@ class TestCodeVersion:
         job = _job()
         assert code_version()  # non-empty -> participates in the digest
         assert job.key() == job.key()
+
+
+class TestProviderVersion:
+    def test_cached_and_stable(self):
+        name = "repro.experiments.common"
+        assert provider_version(name) == provider_version(name)
+        assert len(provider_version(name)) == 16
+
+    def test_distinct_providers_distinct_digests(self):
+        """Builders registered outside the code_version() subtrees (fig01,
+        fig06, fig08) carry measurement logic; each provider module must
+        contribute its own digest to its jobs' keys."""
+        digests = {provider_version(name) for name in (
+            "repro.experiments.common",
+            "repro.experiments.fig01_iat",
+            "repro.experiments.fig06_footprints",
+            "repro.experiments.fig08_metadata",
+        )}
+        assert len(digests) == 4
+
+    def test_provider_edit_invalidates_key(self, tmp_path, monkeypatch):
+        """Editing a provider module's source must change its jobs' keys
+        even though the module lies outside the code_version() subtrees."""
+        import repro.engine.job as jobmod
+
+        src = tmp_path / "fakeprov.py"
+        src.write_text("X = 1\n")
+        monkeypatch.setattr(jobmod, "_provider_source", lambda mod: src)
+        jobmod.provider_version.cache_clear()
+        before = _job(provider="fakeprov").key()
+        src.write_text("X = 2\n")
+        jobmod.provider_version.cache_clear()
+        after = _job(provider="fakeprov").key()
+        jobmod.provider_version.cache_clear()
+        assert before != after
+
+    def test_unlocatable_provider_is_an_error(self):
+        with pytest.raises(ConfigurationError):
+            provider_version("repro.no_such_module_anywhere")
 
 
 class TestJobShape:

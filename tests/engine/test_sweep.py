@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import threading
 
 import pytest
 
@@ -132,6 +133,28 @@ class TestContextNesting:
         # The ambient context's accounting is untouched.
         delta = current_context().stats.since(ambient_before)
         assert delta.jobs == 0
+
+    def test_configure_is_isolated_per_thread(self):
+        """One thread's configure() exit must never pop a context another
+        thread pushed (the stack is a ContextVar, not a module global)."""
+        seen = {}
+
+        def worker():
+            seen["ambient"] = current_context()
+            with configure(jobs=1) as ctx:
+                seen["inside_is_own"] = current_context() is ctx
+            seen["after"] = current_context()
+
+        with configure(jobs=1) as outer:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            assert current_context() is outer
+        assert seen["inside_is_own"]
+        # The worker never saw this thread's context, and unwound to its
+        # own ambient root.
+        assert seen["ambient"] is not outer
+        assert seen["after"] is seen["ambient"]
 
     def test_stats_describe(self):
         with configure() as ctx:

@@ -93,6 +93,14 @@ class TestMain:
         assert main(["table2", "--jobs", "0"]) == 2
         assert "--jobs" in capsys.readouterr().err
 
+    def test_rejects_no_cache_with_cache_dir(self, capsys, tmp_path):
+        """An explicit --cache-dir contradicts --no-cache; silently
+        dropping either would mislead cache benchmarking."""
+        argv = ["table2", "--no-cache", "--cache-dir", str(tmp_path / "c")]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "--no-cache" in err and "--cache-dir" in err
+
     def test_runs_cheap_experiment(self, capsys):
         assert main(["table2"]) == 0
         out = capsys.readouterr().out
