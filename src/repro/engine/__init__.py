@@ -8,6 +8,15 @@ deterministic result ordering, and memoizes results in a
 content-addressed on-disk :class:`ResultCache` keyed by a stable hash of
 every input plus the simulator's source digest.
 
+Execution is failure-aware: each cell resolves to a typed
+:class:`JobOutcome` under a :class:`FailurePolicy` (``raise`` by
+default, or ``keep_going`` / ``retry`` with deterministic seeded
+backoff), pool-worker crashes re-dispatch the unfinished frontier to a
+fresh pool (degrading to serial after repeated crashes), and completed
+cells are checkpointed into the cache as they finish so aborted sweeps
+resume warm.  The :mod:`repro.faults` harness injects failures
+deterministically for tests and ``--inject-fault``.
+
 Typical use from an experiment module::
 
     from repro.engine import sweep_configs
@@ -23,6 +32,8 @@ and from the CLI layer::
 
 from repro.engine.cache import CacheStats, ResultCache
 from repro.engine.executors import (
+    DEFAULT_MAXTASKSPERCHILD,
+    DEFAULT_MAX_POOL_FAILURES,
     ProcessExecutor,
     SerialExecutor,
     execute_job,
@@ -37,6 +48,23 @@ from repro.engine.job import (
     fingerprint,
     provider_version,
 )
+from repro.engine.resilience import (
+    ERROR_CLASSES,
+    KEEP_GOING,
+    PERMANENT,
+    RAISE,
+    RETRY,
+    TRANSIENT,
+    FailurePolicy,
+    JobError,
+    JobOutcome,
+    Task,
+    backoff_delay,
+    classify_error,
+    execute_task,
+    register_error_class,
+    run_with_policy,
+)
 from repro.engine.sweep import (
     EngineContext,
     SweepStats,
@@ -44,26 +72,45 @@ from repro.engine.sweep import (
     current_context,
     sweep,
     sweep_configs,
+    sweep_outcomes,
 )
 
 __all__ = [
     "CacheStats",
+    "DEFAULT_MAXTASKSPERCHILD",
+    "DEFAULT_MAX_POOL_FAILURES",
     "DEFAULT_PROVIDER",
+    "ERROR_CLASSES",
     "EngineContext",
+    "FailurePolicy",
     "Job",
+    "JobError",
+    "JobOutcome",
+    "KEEP_GOING",
+    "PERMANENT",
     "ProcessExecutor",
+    "RAISE",
+    "RETRY",
     "ResultCache",
     "SCHEMA_VERSION",
     "SerialExecutor",
     "SweepStats",
+    "TRANSIENT",
+    "Task",
+    "backoff_delay",
     "canonicalize",
+    "classify_error",
     "code_version",
     "configure",
     "current_context",
     "execute_job",
+    "execute_task",
     "fingerprint",
     "get_executor",
     "provider_version",
+    "register_error_class",
+    "run_with_policy",
     "sweep",
     "sweep_configs",
+    "sweep_outcomes",
 ]

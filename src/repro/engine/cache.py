@@ -94,6 +94,21 @@ class ResultCache:
                 tmp.unlink()
         self.stats.stores += 1
 
+    def corrupt(self, key: str) -> bool:
+        """Overwrite an existing entry with unpicklable garbage.
+
+        A fault-injection hook (``corrupt`` faults in :mod:`repro.faults`)
+        used to exercise the evict-on-corruption path in :meth:`get`.
+        Returns whether an entry existed to corrupt; absent entries are
+        left absent so the fault degenerates to an ordinary miss.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return False
+        with open(path, "wb") as fh:
+            fh.write(b"\x80corrupted-by-fault-injection")
+        return True
+
     def __len__(self) -> int:
         if not self.root.exists():
             return 0

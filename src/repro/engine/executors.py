@@ -3,31 +3,69 @@
 Both executors guarantee *submission-order* results, which is what makes
 parallel sweeps bit-identical to serial ones: every cell is a pure
 function of its :class:`~repro.engine.job.Job`, so only ordering could
-differ, and ``Pool.map`` pins that down.
+differ, and the index-keyed collection below pins that down.
+
+The pool backend is failure-aware: a ``multiprocessing`` pool silently
+*replaces* a crashed worker and leaves that worker's in-flight result
+pending forever, so :class:`ProcessExecutor` tracks every worker process
+it has ever seen and watches exit codes.  A non-zero exit (a crash or an
+injected ``kill`` fault -- a ``maxtasksperchild`` retirement exits 0 and
+is ignored) abandons the pool: finished results are kept, the unfinished
+frontier is re-dispatched to a fresh pool, and after
+``max_pool_failures`` crashes the executor degrades to serial in-process
+execution with a warning rather than crash-looping.  Because cells are
+pure, a cell that ran twice (in-flight during a crash, then re-run)
+returns an identical value, and outcomes still come back in submission
+order.
 """
 
 from __future__ import annotations
 
 import importlib
-from typing import TYPE_CHECKING, Any, List, Sequence
+import warnings
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
+from repro.engine.resilience import JobOutcome, Task, execute_task
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:
     from repro.engine.job import Job
+
+#: Worker processes are recycled after this many cells unless overridden,
+#: bounding per-worker memory growth across long sweeps.
+DEFAULT_MAXTASKSPERCHILD = 32
+
+#: Pool crashes tolerated before degrading to serial execution.
+DEFAULT_MAX_POOL_FAILURES = 2
+
+#: Seconds between worker-liveness checks while draining a pool.
+_POLL_INTERVAL_S = 0.05
+
+OutcomeCallback = Optional[Callable[[Task, JobOutcome], None]]
 
 
 def execute_job(job: "Job") -> Any:
     """Run one job in the current process (also the pool-worker entry).
 
     The job's provider module is imported first so the config-registry
-    entry it names exists even in a freshly spawned interpreter.
+    entry it names exists even in a freshly spawned interpreter.  An
+    unimportable provider is a configuration error naming the job, not a
+    bare ``ImportError`` pickled back from a worker.
     """
-    importlib.import_module(job.provider)
+    try:
+        importlib.import_module(job.provider)
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"cannot import provider module {job.provider!r} for job "
+            f"{job.describe()!r}: {exc}") from exc
     from repro.experiments.common import run_config
 
     return run_config(job.profile, job.machine, job.cfg, job.config,
                       **job.opts_dict())
+
+
+def _tasks_for(jobs: Sequence["Job"]) -> List[Task]:
+    return [Task(job=job, index=i) for i, job in enumerate(jobs)]
 
 
 class SerialExecutor:
@@ -36,33 +74,157 @@ class SerialExecutor:
     jobs = 1
 
     def run(self, jobs: Sequence["Job"]) -> List[Any]:
+        """Legacy value API: fail-fast, exceptions propagate untouched."""
         return [execute_job(job) for job in jobs]
+
+    def run_tasks(self, tasks: Sequence[Task],
+                  on_outcome: OutcomeCallback = None) -> List[JobOutcome]:
+        outcomes: List[JobOutcome] = []
+        for task in tasks:
+            outcome = execute_task(task)
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(task, outcome)
+        return outcomes
 
 
 class ProcessExecutor:
     """Fan jobs out over a ``multiprocessing`` pool of ``jobs`` workers."""
 
-    def __init__(self, jobs: int) -> None:
+    def __init__(self, jobs: int,
+                 maxtasksperchild: Optional[int] = DEFAULT_MAXTASKSPERCHILD,
+                 max_pool_failures: int = DEFAULT_MAX_POOL_FAILURES) -> None:
         if jobs < 1:
             raise ConfigurationError(
                 f"executor needs at least one worker, got jobs={jobs}")
+        if maxtasksperchild is not None and maxtasksperchild < 1:
+            raise ConfigurationError(
+                f"maxtasksperchild must be >= 1 (or None), got "
+                f"{maxtasksperchild}")
+        if max_pool_failures < 1:
+            raise ConfigurationError(
+                f"max_pool_failures must be >= 1, got {max_pool_failures}")
         self.jobs = jobs
+        self.maxtasksperchild = maxtasksperchild
+        self.max_pool_failures = max_pool_failures
+        #: Pools abandoned after a worker crash (observable by tests and
+        #: the runner's failure footer).
+        self.pool_restarts = 0
 
     def run(self, jobs: Sequence["Job"]) -> List[Any]:
-        if self.jobs == 1 or len(jobs) <= 1:
-            return SerialExecutor().run(jobs)
+        """Legacy value API: unwraps outcomes, re-raising the first error."""
+        return [outcome.unwrap() for outcome in self.run_tasks(_tasks_for(jobs))]
+
+    def run_tasks(self, tasks: Sequence[Task],
+                  on_outcome: OutcomeCallback = None) -> List[JobOutcome]:
+        if self.jobs == 1 or len(tasks) <= 1:
+            return SerialExecutor().run_tasks(tasks, on_outcome=on_outcome)
+        outcomes: Dict[int, JobOutcome] = {}
+        pending: Dict[int, Task] = {task.index: task for task in tasks}
+        crashes = 0
+        while pending:
+            crashed = self._drain_pool(pending, outcomes, on_outcome)
+            if not crashed:
+                break
+            crashes += 1
+            self.pool_restarts += 1
+            pending = {index: task.redispatch()
+                       for index, task in pending.items()}
+            if crashes >= self.max_pool_failures:
+                warnings.warn(
+                    f"sweep pool lost a worker {crashes} time(s); degrading "
+                    f"to serial execution for the {len(pending)} unfinished "
+                    f"cell(s)", RuntimeWarning, stacklevel=2)
+                rest = [pending[index] for index in sorted(pending)]
+                for task, outcome in zip(
+                        rest, SerialExecutor().run_tasks(
+                            rest, on_outcome=on_outcome)):
+                    outcomes[task.index] = outcome
+                pending.clear()
+                break
+            warnings.warn(
+                f"sweep pool lost a worker; re-dispatching the "
+                f"{len(pending)} unfinished cell(s) to a fresh pool",
+                RuntimeWarning, stacklevel=2)
+        return [outcomes[task.index] for task in tasks]
+
+    def _drain_pool(self, pending: Dict[int, Task],
+                    outcomes: Dict[int, JobOutcome],
+                    on_outcome: OutcomeCallback) -> bool:
+        """Run one pool over the open frontier.
+
+        Returns ``True`` if a worker crashed (the caller re-dispatches
+        whatever is still pending), ``False`` when the frontier drained.
+        Finished results are collected incrementally either way.
+        """
         import multiprocessing
 
-        workers = min(self.jobs, len(jobs))
-        # Small chunks keep long and short cells balanced across workers.
-        chunksize = max(1, len(jobs) // (workers * 4))
-        with multiprocessing.Pool(processes=workers) as pool:
-            return pool.map(execute_job, jobs, chunksize=chunksize)
+        tasks = [pending[index] for index in sorted(pending)]
+        workers = min(self.jobs, len(tasks))
+        pool = multiprocessing.Pool(processes=workers,
+                                    maxtasksperchild=self.maxtasksperchild)
+        try:
+            asyncs = [(task, pool.apply_async(execute_task, (task,)))
+                      for task in tasks]
+            seen_workers: List[Any] = []
+
+            def collect_ready() -> None:
+                for task, result in asyncs:
+                    if task.index in pending and result.ready():
+                        outcome = result.get()
+                        outcomes[task.index] = outcome
+                        del pending[task.index]
+                        if on_outcome is not None:
+                            on_outcome(task, outcome)
+
+            while True:
+                collect_ready()
+                if not pending:
+                    return False
+                if self._worker_crashed(pool, seen_workers):
+                    # One last harvest: results that landed between the
+                    # crash and its detection are still valid.
+                    collect_ready()
+                    return bool(pending)
+                self._wait_for_progress(asyncs, pending)
+        finally:
+            pool.terminate()
+            pool.join()
+
+    @staticmethod
+    def _worker_crashed(pool: Any, seen_workers: List[Any]) -> bool:
+        """Whether any worker this pool ever ran has exited non-zero.
+
+        The pool's maintenance thread replaces dead workers in place, so
+        crash detection must remember every worker process observed, not
+        just the current roster.  Workers retired by ``maxtasksperchild``
+        exit 0 and are ignored.
+        """
+        current = getattr(pool, "_pool", None)
+        if current is None:  # unknown pool implementation: no detection
+            return False
+        for worker in list(current):
+            if worker not in seen_workers:
+                seen_workers.append(worker)
+        return any(worker.exitcode not in (None, 0)
+                   for worker in seen_workers)
+
+    @staticmethod
+    def _wait_for_progress(asyncs: Sequence, pending: Dict[int, Task]) -> None:
+        """Block briefly on the first unfinished result."""
+        for task, result in asyncs:
+            if task.index in pending:
+                result.wait(_POLL_INTERVAL_S)
+                return
 
 
-def get_executor(jobs: int = 1) -> Any:
+def get_executor(jobs: int = 1,
+                 maxtasksperchild: Optional[int] = DEFAULT_MAXTASKSPERCHILD,
+                 ) -> Any:
     """Executor for ``jobs`` workers (serial when ``jobs == 1``)."""
     if jobs < 1:
         raise ConfigurationError(
             f"executor needs at least one worker, got jobs={jobs}")
-    return SerialExecutor() if jobs == 1 else ProcessExecutor(jobs)
+    if jobs == 1:
+        return SerialExecutor()
+    return ProcessExecutor(jobs, maxtasksperchild=maxtasksperchild)

@@ -1,0 +1,363 @@
+"""Failure-aware sweep execution: outcomes, retries, and error taxonomy.
+
+The engine's executors are all-or-nothing by construction -- a cell is a
+pure function that either returns a result or raises.  This module turns
+that raw behaviour into *typed, policy-driven* failure handling:
+
+* :class:`JobError` -- a picklable record of one failed attempt, carrying
+  the remote traceback text (worker tracebacks don't survive pickling,
+  their formatted text does) plus the original exception object whenever
+  it is picklable, so ``raise``-mode sweeps can re-raise the real type;
+* :class:`JobOutcome` -- the typed per-cell result: value, attempt count,
+  and the per-attempt error records;
+* :class:`FailurePolicy` -- ``raise`` | ``keep_going`` | ``retry``, with
+  deterministic seeded backoff that never reads host time: delays are a
+  pure function of ``(seed, cell index, attempt)`` and are *applied*
+  through an injected ``sleep`` callable (absent by default, so tests and
+  simulation paths stay instantaneous and REPRO006-clean);
+* an extensible **error taxonomy**: :func:`classify_error` maps an
+  exception to :data:`TRANSIENT` or :data:`PERMANENT`; only transient
+  errors are retried.  :func:`register_error_class` extends the mapping
+  for out-of-tree providers.
+
+This file is the *sanctioned broad-capture point* of the engine: lint
+rule REPRO007 forbids ``except Exception`` everywhere else under
+``engine/`` so that a swallowed error can never silently turn into a
+wrong figure -- every broad catch below immediately converts the
+exception into a structured :class:`JobError`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import traceback as _traceback
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from repro.errors import ConfigurationError, ReproError, SweepFailure, WorkerCrashError
+
+#: Error classes of the retry taxonomy.  A *transient* error is worth
+#: retrying (flaky infrastructure, injected chaos); a *permanent* one is a
+#: programming or configuration error that will fail identically forever.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+ERROR_CLASSES = (TRANSIENT, PERMANENT)
+
+#: Failure-policy modes accepted by :class:`FailurePolicy`.
+RAISE = "raise"
+KEEP_GOING = "keep_going"
+RETRY = "retry"
+
+_MODES = (RAISE, KEEP_GOING, RETRY)
+
+#: The taxonomy registry: later registrations win, unknown types default
+#: to :data:`PERMANENT` (never waste retries on a deterministic bug).
+_ERROR_CLASSES: List[Tuple[Type[BaseException], str]] = [
+    (ConnectionError, TRANSIENT),
+    (TimeoutError, TRANSIENT),
+    (InterruptedError, TRANSIENT),
+    (WorkerCrashError, TRANSIENT),
+    (ReproError, PERMANENT),
+]
+
+
+def register_error_class(exc_type: Type[BaseException], error_class: str) -> None:
+    """Extend the taxonomy: classify ``exc_type`` (and subclasses).
+
+    Registrations are consulted newest-first, so registering a subclass
+    after its parent refines the parent's classification.
+    """
+    if not (isinstance(exc_type, type) and issubclass(exc_type, BaseException)):
+        raise ConfigurationError(
+            f"error taxonomy entries must be exception types, got {exc_type!r}")
+    if error_class not in ERROR_CLASSES:
+        raise ConfigurationError(
+            f"unknown error class {error_class!r}; expected one of "
+            f"{', '.join(ERROR_CLASSES)}")
+    _ERROR_CLASSES.insert(0, (exc_type, error_class))
+
+
+def classify_error(exc: BaseException) -> str:
+    """Map an exception to its taxonomy class (default: permanent)."""
+    for exc_type, error_class in _ERROR_CLASSES:
+        if isinstance(exc, exc_type):
+            return error_class
+    return PERMANENT
+
+
+@dataclass(frozen=True)
+class JobError:
+    """One failed attempt of one cell, in picklable form.
+
+    ``exception`` holds the original exception object when it pickles
+    cleanly (so ``raise`` mode can re-raise the real type); otherwise it
+    is ``None`` and only the formatted remote traceback survives.
+    """
+
+    type_name: str
+    message: str
+    traceback: str
+    error_class: str
+    attempt: int
+    #: Backoff delay (seconds) scheduled after this failure, 0.0 when the
+    #: attempt was final.  Filled in by the retry driver.
+    backoff_s: float = 0.0
+    exception: Optional[BaseException] = None
+
+    @classmethod
+    def capture(cls, exc: BaseException, attempt: int) -> "JobError":
+        """Snapshot a live exception inside the worker that raised it."""
+        try:
+            pickle.dumps(exc)
+            carried: Optional[BaseException] = exc
+        except Exception:  # noqa: REPRO007-sanctioned broad capture
+            carried = None
+        return cls(
+            type_name=type(exc).__name__,
+            message=str(exc),
+            traceback=_traceback.format_exc(),
+            error_class=classify_error(exc),
+            attempt=attempt,
+            exception=carried,
+        )
+
+    @property
+    def transient(self) -> bool:
+        return self.error_class == TRANSIENT
+
+    def describe(self) -> str:
+        return f"attempt {self.attempt}: {self.type_name}: {self.message}"
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """The typed result of one sweep cell.
+
+    ``attempts`` counts executions (0 for a cache hit); ``errors`` holds
+    one :class:`JobError` per failed attempt in order, so a cell that
+    succeeded on its second try has ``ok=True, attempts=2`` and one error
+    record.
+    """
+
+    job: Any
+    index: int
+    ok: bool
+    value: Any = None
+    attempts: int = 0
+    errors: Tuple[JobError, ...] = ()
+    from_cache: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return not self.ok
+
+    @property
+    def last_error(self) -> Optional[JobError]:
+        return self.errors[-1] if self.errors else None
+
+    def unwrap(self) -> Any:
+        """The cell's value; a failed outcome re-raises its error.
+
+        The original exception type is re-raised whenever the worker-side
+        exception pickled cleanly, with the remote traceback attached as
+        an exception note; otherwise a :class:`SweepFailure` embeds it.
+        """
+        if self.ok:
+            return self.value
+        error = self.last_error
+        summary = (f"sweep cell #{self.index} ({self.job.describe()}) failed "
+                   f"after {self.attempts} attempt(s)")
+        if error is None:
+            raise SweepFailure(summary)
+        if error.exception is not None:
+            exc = error.exception
+            if hasattr(exc, "add_note"):
+                exc.add_note(f"{summary}; remote traceback:\n{error.traceback}")
+            raise exc
+        raise SweepFailure(
+            f"{summary}: {error.type_name}: {error.message}\n"
+            f"remote traceback:\n{error.traceback}")
+
+    def describe(self) -> str:
+        state = "cached" if self.from_cache else ("ok" if self.ok else "FAILED")
+        return f"#{self.index} {self.job.describe()}: {state}"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One dispatch unit: a job plus its retry/redispatch bookkeeping.
+
+    ``attempt`` counts *completed failed attempts* (retry ladder);
+    ``dispatch`` counts *pool submissions*, which also advance when a
+    crashed pool re-dispatches work that never ran.  Fault-injection
+    plans key ``fail`` faults on ``attempt`` and ``kill`` faults on
+    ``dispatch`` so each stays deterministic under the other.
+    """
+
+    job: Any
+    index: int
+    attempt: int = 0
+    dispatch: int = 0
+    faults: Optional[Any] = None
+
+    def retry(self) -> "Task":
+        return replace(self, attempt=self.attempt + 1,
+                       dispatch=self.dispatch + 1)
+
+    def redispatch(self) -> "Task":
+        return replace(self, dispatch=self.dispatch + 1)
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How a sweep treats failing cells.
+
+    * ``raise`` (default) -- re-raise the first failure after the batch
+      finishes; completed cells are already checkpointed in the cache.
+    * ``keep_going`` -- never raise; ``sweep`` returns the full list of
+      :class:`JobOutcome` values, failures included.
+    * ``retry`` -- like ``raise``, but transient failures are retried up
+      to ``retries`` extra times with deterministic seeded backoff.
+
+    ``retries`` also composes with ``keep_going``.  Backoff is a pure
+    function of ``(seed, index, attempt)`` -- no host clock is ever read.
+    """
+
+    mode: str = RAISE
+    retries: int = 0
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    seed: int = 0
+    retry_classes: Tuple[str, ...] = (TRANSIENT,)
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigurationError(
+                f"unknown failure-policy mode {self.mode!r}; expected one "
+                f"of {', '.join(_MODES)}")
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be >= 0, got {self.retries}")
+        if self.mode == RETRY and self.retries < 1:
+            raise ConfigurationError(
+                "retry mode needs retries >= 1 (use mode='raise' for no "
+                "retries)")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigurationError(
+                f"backoff must be non-negative, got base="
+                f"{self.backoff_base}, cap={self.backoff_cap}")
+        for name in self.retry_classes:
+            if name not in ERROR_CLASSES:
+                raise ConfigurationError(
+                    f"unknown retry class {name!r}; expected a subset of "
+                    f"{', '.join(ERROR_CLASSES)}")
+
+    @classmethod
+    def raising(cls) -> "FailurePolicy":
+        return cls(mode=RAISE)
+
+    @classmethod
+    def keep_going(cls, retries: int = 0, **kwargs: Any) -> "FailurePolicy":
+        return cls(mode=KEEP_GOING, retries=retries, **kwargs)
+
+    @classmethod
+    def retrying(cls, retries: int = 2, **kwargs: Any) -> "FailurePolicy":
+        return cls(mode=RETRY, retries=retries, **kwargs)
+
+
+def backoff_delay(policy: FailurePolicy, index: int, attempt: int) -> float:
+    """Deterministic jittered exponential backoff, host-clock-free.
+
+    The delay is a pure function of the policy seed, the cell's index and
+    the attempt number: reruns compute bit-identical schedules, and the
+    engine only *applies* the delay through an injected sleep callable.
+    """
+    rng = random.Random(f"{policy.seed}:{index}:{attempt}")
+    window = min(policy.backoff_cap, policy.backoff_base * (2 ** attempt))
+    return window * (0.5 + 0.5 * rng.random())
+
+
+def execute_task(task: Task) -> JobOutcome:
+    """Run one task, capturing any failure as a structured outcome.
+
+    This is the pool-worker entry point and the engine's sanctioned
+    broad-capture site: exceptions (never ``KeyboardInterrupt`` or other
+    ``BaseException``) become :class:`JobError` records with the remote
+    traceback formatted *here*, inside the process that raised it.
+    Fault-injection hooks run first so tests can fail or kill
+    deterministically chosen cells.
+    """
+    from repro.engine.executors import execute_job
+
+    try:
+        if task.faults is not None:
+            task.faults.on_execute(task.job, task.index, task.attempt,
+                                   task.dispatch)
+        value = execute_job(task.job)
+    except Exception as exc:  # sanctioned capture point (REPRO007)
+        return JobOutcome(
+            job=task.job, index=task.index, ok=False,
+            attempts=task.attempt + 1,
+            errors=(JobError.capture(exc, attempt=task.attempt),))
+    return JobOutcome(job=task.job, index=task.index, ok=True, value=value,
+                      attempts=task.attempt + 1)
+
+
+def run_with_policy(executor: Any, tasks: Sequence[Task],
+                    policy: FailurePolicy,
+                    sleep: Optional[Callable[[float], None]] = None,
+                    on_outcome: Optional[Callable[[Task, JobOutcome], None]] = None,
+                    stats: Optional[Any] = None) -> List[JobOutcome]:
+    """Drive tasks through an executor in rounds, retrying per policy.
+
+    Each round dispatches the whole open frontier as one batch (so a
+    process pool sees maximal parallelism), then failures classified
+    retryable are re-queued for the next round with their backoff applied
+    through ``sleep``.  ``on_outcome`` fires as soon as each attempt
+    completes -- the sweep layer uses it to checkpoint finished results
+    into the cache *before* the batch (or the run) is over.  Results come
+    back in submission order regardless of rounds.
+    """
+    final: Dict[int, JobOutcome] = {}
+    history: Dict[int, Tuple[JobError, ...]] = {}
+    round_tasks = list(tasks)
+    while round_tasks:
+        computed = executor.run_tasks(round_tasks, on_outcome=on_outcome)
+        next_round: List[Task] = []
+        for task, outcome in zip(round_tasks, computed):
+            if outcome.ok:
+                prior = history.pop(task.index, ())
+                final[task.index] = replace(
+                    outcome, errors=prior + outcome.errors)
+                continue
+            errors = history.get(task.index, ()) + outcome.errors
+            if task.attempt < policy.retries and _retryable(outcome, policy):
+                delay = backoff_delay(policy, task.index, task.attempt)
+                errors = errors[:-1] + (replace(errors[-1], backoff_s=delay),)
+                history[task.index] = errors
+                if stats is not None:
+                    stats.retries += 1
+                if sleep is not None and delay > 0:
+                    sleep(delay)
+                next_round.append(task.retry())
+            else:
+                final[task.index] = replace(
+                    outcome, errors=errors)
+        round_tasks = next_round
+    return [final[task.index] for task in tasks]
+
+
+def _retryable(outcome: JobOutcome, policy: FailurePolicy) -> bool:
+    error = outcome.last_error
+    return error is not None and error.error_class in policy.retry_classes

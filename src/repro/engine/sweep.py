@@ -2,15 +2,28 @@
 
 Experiments describe their cells as :class:`~repro.engine.job.Job` values
 and call :func:`sweep`; the active :class:`EngineContext` decides *how*
-they run (serial or a process pool) and *whether* results are served from
-the content-addressed :class:`~repro.engine.cache.ResultCache`.  Contexts
-nest via :func:`configure`, so the runner (or a test) can switch the whole
+they run (serial or a process pool), *whether* results are served from
+the content-addressed :class:`~repro.engine.cache.ResultCache`, and *what
+happens when cells fail* (a
+:class:`~repro.engine.resilience.FailurePolicy`, optionally driven by an
+injected :class:`~repro.faults.FaultPlan`).  Contexts nest via
+:func:`configure`, so the runner (or a test) can switch the whole
 experiment layer to ``--jobs 4`` plus an on-disk cache without threading
 parameters through sixteen ``run()`` signatures.
 
+Failure semantics: every completed cell is checkpointed into the cache
+the moment it finishes, so an aborted sweep -- a raising cell, a crashed
+pool, a ``KeyboardInterrupt`` -- resumes warm on rerun, simulating only
+what never completed.  ``raise`` mode re-raises the first failure (with
+its remote traceback attached) after the batch drains; ``keep_going``
+returns the full list of typed :class:`~repro.engine.resilience
+.JobOutcome` values; ``retry`` re-runs transient failures with
+deterministic seeded backoff.
+
 Engine code never reads host time (REPRO006): wall-clock accounting for
-the runner's footer comes from an injected ``clock`` callable, and stays
-zero when none is configured.
+the runner's footer comes from an injected ``clock`` callable, backoff
+delays are pure functions of ``(seed, index, attempt)`` applied through
+an injected ``sleep``, and both stay inert when none is configured.
 """
 
 from __future__ import annotations
@@ -27,13 +40,26 @@ from typing import (
     List,
     Optional,
     Sequence,
-    Tuple,
     Union,
 )
 
 from repro.engine.cache import ResultCache
-from repro.engine.executors import SerialExecutor, get_executor
+from repro.engine.executors import (
+    DEFAULT_MAXTASKSPERCHILD,
+    SerialExecutor,
+    get_executor,
+)
 from repro.engine.job import DEFAULT_PROVIDER, Job
+from repro.engine.resilience import (
+    KEEP_GOING,
+    FailurePolicy,
+    JobOutcome,
+    Task,
+    run_with_policy,
+)
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
+from repro.lint import contracts
 
 
 @dataclass
@@ -44,6 +70,10 @@ class SweepStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Cells whose final outcome was a failure.
+    failures: int = 0
+    #: Extra attempts scheduled by a retry policy.
+    retries: int = 0
     #: Seconds spent simulating cache misses (via the injected clock).
     sim_seconds: float = 0.0
 
@@ -61,6 +91,8 @@ class SweepStats:
             hits=self.hits - earlier.hits,
             misses=self.misses - earlier.misses,
             stores=self.stores - earlier.stores,
+            failures=self.failures - earlier.failures,
+            retries=self.retries - earlier.retries,
             sim_seconds=self.sim_seconds - earlier.sim_seconds,
         )
 
@@ -69,6 +101,10 @@ class SweepStats:
             return "engine: no simulation cells"
         parts = [f"engine: {self.jobs} cells, {self.hits} cached, "
                  f"{self.misses} simulated"]
+        if self.retries:
+            parts.append(f", {self.retries} retried")
+        if self.failures:
+            parts.append(f", {self.failures} FAILED")
         if self.sim_seconds > 0:
             parts.append(f" in {self.sim_seconds:.1f}s")
         return "".join(parts)
@@ -76,7 +112,7 @@ class SweepStats:
 
 @dataclass
 class EngineContext:
-    """Executor + cache + counters governing :func:`sweep` calls."""
+    """Executor + cache + policy + counters governing :func:`sweep` calls."""
 
     executor: Any = field(default_factory=SerialExecutor)
     cache: Optional[ResultCache] = None
@@ -84,6 +120,14 @@ class EngineContext:
     #: Optional monotonic-seconds callable (e.g. ``time.perf_counter``),
     #: injected by the CLI layer; the engine itself never reads host time.
     clock: Optional[Callable[[], float]] = None
+    #: Failure policy applied when a :func:`sweep` call passes none.
+    policy: Optional[FailurePolicy] = None
+    #: Deterministic fault-injection plan (tests, ``--inject-fault``).
+    faults: Optional[FaultPlan] = None
+    #: Callable applying retry-backoff delays (e.g. ``time.sleep``); the
+    #: deterministic delay *values* are computed either way, only their
+    #: real-time application is optional.
+    sleep: Optional[Callable[[float], None]] = None
 
 
 #: The zero-configuration default context (serial, uncached), shared by
@@ -108,11 +152,18 @@ def configure(jobs: int = 1,
               cache_dir: Optional[Union[str, Path]] = None,
               cache: Optional[ResultCache] = None,
               clock: Optional[Callable[[], float]] = None,
+              policy: Optional[FailurePolicy] = None,
+              faults: Any = None,
+              sleep: Optional[Callable[[float], None]] = None,
+              maxtasksperchild: Optional[int] = DEFAULT_MAXTASKSPERCHILD,
               ) -> Iterator[EngineContext]:
     """Activate an engine context for the duration of the ``with`` block."""
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
-    ctx = EngineContext(executor=get_executor(jobs), cache=cache, clock=clock)
+    ctx = EngineContext(
+        executor=get_executor(jobs, maxtasksperchild=maxtasksperchild),
+        cache=cache, clock=clock, policy=policy,
+        faults=FaultPlan.coerce(faults), sleep=sleep)
     token = _CONTEXT.set(ctx)
     try:
         yield ctx
@@ -120,44 +171,96 @@ def configure(jobs: int = 1,
         _CONTEXT.reset(token)
 
 
-def sweep(jobs: Sequence[Job],
-          context: Optional[EngineContext] = None) -> List[Any]:
-    """Execute a batch of jobs, returning results in submission order.
+def _resolve_policy(policy: Optional[FailurePolicy],
+                    ctx: EngineContext) -> FailurePolicy:
+    if policy is not None:
+        return policy
+    if ctx.policy is not None:
+        return ctx.policy
+    return FailurePolicy()
 
-    Cache hits are filled in first; the remaining misses go to the
-    context's executor as one batch (so a process pool sees the whole
-    frontier at once), then get stored back.  Output is bit-identical
-    whatever the executor, and a fully warm cache runs no simulation.
+
+def sweep_outcomes(jobs: Sequence[Job],
+                   context: Optional[EngineContext] = None,
+                   policy: Optional[FailurePolicy] = None,
+                   ) -> List[JobOutcome]:
+    """Execute a batch of jobs, returning typed outcomes in submission order.
+
+    Never raises on a cell failure: each cell yields a
+    :class:`~repro.engine.resilience.JobOutcome` carrying its value or its
+    per-attempt error records (remote tracebacks included).  Cache hits
+    are filled in first; the remaining misses go to the context's executor
+    as one batch, retried per policy, and every *successful* result is
+    checkpointed into the cache as soon as it completes -- an aborted run
+    resumes warm.
     """
     jobs = list(jobs)
     ctx = context if context is not None else current_context()
+    eff = _resolve_policy(policy, ctx)
     stats = ctx.stats
     stats.jobs += len(jobs)
-    results: List[Any] = [None] * len(jobs)
-    pending: List[Tuple[int, Job, str]] = []
+    outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+    pending: List[Task] = []
+    keys: Dict[int, str] = {}
     for i, job in enumerate(jobs):
         if ctx.cache is not None:
             key = job.key()
+            keys[i] = key
+            if ctx.faults is not None and ctx.faults.should_corrupt(job, i):
+                ctx.cache.corrupt(key)
             hit, value = ctx.cache.get(key)
             if hit:
-                results[i] = value
+                outcomes[i] = JobOutcome(job=job, index=i, ok=True,
+                                         value=value, from_cache=True)
                 stats.hits += 1
                 continue
-        else:
-            key = ""
-        pending.append((i, job, key))
+        pending.append(Task(job=job, index=i, faults=ctx.faults))
+
+    def checkpoint(task: Task, outcome: JobOutcome) -> None:
+        """Record each completed attempt the moment it finishes."""
+        if task.attempt == 0:
+            stats.misses += 1
+        if outcome.ok and ctx.cache is not None:
+            ctx.cache.put(keys[task.index], outcome.value)
+            stats.stores += 1
+
     if pending:
         started = ctx.clock() if ctx.clock is not None else None
-        computed = ctx.executor.run([job for _, job, _ in pending])
-        if started is not None:
-            stats.sim_seconds += ctx.clock() - started
-        for (i, _, key), value in zip(pending, computed):
-            results[i] = value
-            if ctx.cache is not None:
-                ctx.cache.put(key, value)
-                stats.stores += 1
-    stats.misses += len(pending)
-    return results
+        try:
+            computed = run_with_policy(
+                ctx.executor, pending, eff, sleep=ctx.sleep,
+                on_outcome=checkpoint, stats=stats)
+        finally:
+            if started is not None:
+                stats.sim_seconds += ctx.clock() - started
+        for task, outcome in zip(pending, computed):
+            outcomes[task.index] = outcome
+            if outcome.failed:
+                stats.failures += 1
+    contracts.check_sweep_stats(stats)
+    return outcomes  # type: ignore[return-value]
+
+
+def sweep(jobs: Sequence[Job],
+          context: Optional[EngineContext] = None,
+          policy: Optional[FailurePolicy] = None) -> List[Any]:
+    """Execute a batch of jobs, returning results in submission order.
+
+    Output is bit-identical whatever the executor, and a fully warm cache
+    runs no simulation.  Under the default ``raise`` (or ``retry``)
+    policy the return value is the plain list of cell results and the
+    first failed cell re-raises its original exception -- *after* the
+    batch drains, with every completed sibling already checkpointed, so a
+    rerun simulates only the failed cell.  Under ``keep_going`` the
+    caller has opted into failure-aware results and receives the full
+    list of :class:`~repro.engine.resilience.JobOutcome` values instead.
+    """
+    ctx = context if context is not None else current_context()
+    eff = _resolve_policy(policy, ctx)
+    outcomes = sweep_outcomes(jobs, context=ctx, policy=eff)
+    if eff.mode == KEEP_GOING:
+        return outcomes
+    return [outcome.unwrap() for outcome in outcomes]
 
 
 def sweep_configs(profiles: Sequence[Any], machine: Any, cfg: Any,
@@ -169,13 +272,23 @@ def sweep_configs(profiles: Sequence[Any], machine: Any, cfg: Any,
     """Sweep the (profile x config) grid.
 
     Returns ``results[profile.abbrev][config]``.  ``opts`` maps a config
-    name to extra keyword arguments for its builder.
+    name to extra keyword arguments for its builder.  The grid shape is
+    plain values, so a ``keep_going`` ambient policy (which changes
+    :func:`sweep`'s element type to outcomes) is rejected here -- callers
+    wanting per-cell failure capture over a grid should build the jobs
+    and call :func:`sweep_outcomes` directly.
     """
+    ctx = context if context is not None else current_context()
+    if _resolve_policy(None, ctx).mode == KEEP_GOING:
+        raise ConfigurationError(
+            "sweep_configs() returns plain values and cannot honour a "
+            "keep_going failure policy; use sweep_outcomes() for typed "
+            "per-cell outcomes")
     profiles = list(profiles)
     configs = list(configs)
     opts = opts if opts is not None else {}
     jobs = [Job.make(p, machine, cfg, c, provider=provider,
                      **opts.get(c, {}))
             for p in profiles for c in configs]
-    flat = iter(sweep(jobs, context=context))
+    flat = iter(sweep(jobs, context=ctx))
     return {p.abbrev: {c: next(flat) for c in configs} for p in profiles}

@@ -34,6 +34,24 @@ class ContractViolationError(SimulationError):
     """
 
 
+class SweepFailure(ReproError):
+    """A sweep cell failed and its original exception could not be
+    re-raised directly (e.g. the worker-side exception was unpicklable).
+
+    The message embeds the cell's identity, attempt count, and the remote
+    traceback captured by :class:`repro.engine.resilience.JobError`.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died (non-zero exit) while executing a sweep cell.
+
+    Raised only when pool replacement is exhausted; ordinarily the
+    :class:`~repro.engine.executors.ProcessExecutor` re-dispatches the
+    unfinished frontier to a fresh pool and the caller never sees this.
+    """
+
+
 #: Canonical short alias for configuration failures.  ``repro.lint`` and the
 #: parameter validators raise :class:`ConfigurationError`; ``ConfigError``
 #: is the same class under the name used throughout the lint docs.

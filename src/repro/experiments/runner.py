@@ -13,6 +13,14 @@ Simulation cells are dispatched through :mod:`repro.engine`: ``--jobs``
 fans them out over worker processes (results stay bit-identical to a
 serial run) and a content-addressed cache under ``--cache-dir`` memoizes
 each cell so re-runs skip simulation entirely.
+
+Failure handling: ``--retries N`` re-runs transiently failing cells with
+deterministic backoff, ``--keep-going`` finishes the remaining
+experiments when one fails (completed cells stay cached either way, so a
+rerun resumes warm), and ``--inject-fault SPEC`` activates the
+deterministic fault harness (:mod:`repro.faults`) for failure drills.
+Exit status: 0 on success, 2 on a usage error, 3 when any experiment
+failed.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro import engine
+from repro.errors import ConfigurationError
 from repro.experiments import (
     ext_throughput,
     fig01_iat,
@@ -45,6 +54,7 @@ from repro.experiments import (
     table3_mpki_reduction,
 )
 from repro.experiments.common import RunConfig
+from repro.faults import parse_fault_plan
 
 #: Environment variable overriding the default result-cache location.
 CACHE_DIR_ENV = "LUKEWARM_CACHE_DIR"
@@ -105,6 +115,30 @@ def default_cache_dir() -> Path:
     return base / "lukewarm-repro"
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, rejected at parse time."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0, rejected at parse time."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lukewarm-repro",
@@ -117,9 +151,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--functions", nargs="*", default=None,
                         help="restrict to these function abbreviations")
     parser.add_argument("--seed", type=int, default=1)
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                         help="simulate up to N cells in parallel "
                              "(default: 1, serial)")
+    parser.add_argument("--retries", type=_nonnegative_int, default=0,
+                        metavar="N",
+                        help="retry transiently failing cells up to N times "
+                             "with deterministic backoff (default: 0)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="on an experiment failure, keep running the "
+                             "remaining experiments and exit 3 at the end")
+    parser.add_argument("--inject-fault", action="append", default=None,
+                        metavar="SPEC", dest="inject_faults",
+                        help="inject a deterministic fault (repeatable); "
+                             "SPEC is ACTION:SELECTOR[:OPTION...], e.g. "
+                             "'fail:#3', 'kill:#2', 'fail:config=jukebox:"
+                             "always', 'corrupt:*'")
+    parser.add_argument("--maxtasksperchild", type=_positive_int,
+                        default=engine.DEFAULT_MAXTASKSPERCHILD, metavar="N",
+                        help="recycle each pool worker after N cells "
+                             f"(default: {engine.DEFAULT_MAXTASKSPERCHILD})")
     parser.add_argument("--cache-dir", type=Path, default=None, metavar="PATH",
                         help="result cache location (default: "
                              f"${CACHE_DIR_ENV} or ~/.cache/lukewarm-repro)")
@@ -160,13 +211,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    if args.jobs < 1:
-        print("--jobs must be >= 1", file=sys.stderr)
-        return 2
     if args.no_cache and args.cache_dir is not None:
         print("--no-cache and --cache-dir contradict each other; "
               "pass at most one", file=sys.stderr)
         return 2
+    try:
+        faults = parse_fault_plan(args.inject_faults or ())
+    except ConfigurationError as exc:
+        print(f"--inject-fault: {exc}", file=sys.stderr)
+        return 2
+    policy = (engine.FailurePolicy.retrying(retries=args.retries, seed=args.seed)
+              if args.retries else None)
     cfg = (RunConfig.fast() if args.fast else RunConfig.full()).replace(
         seed=args.seed)
     cache_dir: Optional[Path]
@@ -175,12 +230,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
     records: List[Dict[str, object]] = []
+    failed: List[Tuple[str, BaseException]] = []
     with engine.configure(jobs=args.jobs, cache_dir=cache_dir,
-                          clock=time.perf_counter) as ctx:
+                          clock=time.perf_counter, policy=policy,
+                          faults=faults, sleep=time.sleep,
+                          maxtasksperchild=args.maxtasksperchild) as ctx:
         for name in names:
             before = ctx.stats.snapshot()
             started = time.time()
-            report = run_experiment(name, cfg, args.functions)
+            try:
+                report = run_experiment(name, cfg, args.functions)
+                error = None
+            except Exception as exc:  # repro-lint: disable=REPRO005
+                # Completed cells are already checkpointed in the cache;
+                # record the failure and (under --keep-going) move on.
+                report = None
+                error = exc
+                failed.append((name, exc))
             seconds = time.time() - started
             delta = ctx.stats.since(before)
             if args.as_json:
@@ -189,20 +255,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "description": EXPERIMENTS[name].description,
                     "seconds": round(seconds, 3),
                     "report": report,
+                    "error": (f"{type(error).__name__}: {error}"
+                              if error is not None else None),
                     "engine": {
                         "cells": delta.jobs,
                         "cache_hits": delta.hits,
                         "simulated": delta.misses,
+                        "failures": delta.failures,
+                        "retries": delta.retries,
                         "sim_seconds": round(delta.sim_seconds, 3),
                     },
                 })
+            elif error is not None:
+                print(f"== {name}: {EXPERIMENTS[name].description} ==")
+                print(f"-- {name} FAILED after {seconds:.1f}s: "
+                      f"{type(error).__name__}: {error} --\n", file=sys.stderr)
             else:
                 print(f"== {name}: {EXPERIMENTS[name].description} ==")
                 print(report)
                 print(f"-- {name} done in {seconds:.1f}s "
                       f"({delta.describe()}) --\n")
+            if error is not None and not args.keep_going:
+                break
     if args.as_json:
         print(json.dumps(records, indent=2))
+    if failed:
+        summary = ", ".join(name for name, _ in failed)
+        print(f"{len(failed)} experiment(s) failed: {summary}; completed "
+              f"cells are cached, rerun to resume warm", file=sys.stderr)
+        return 3
     return 0
 
 

@@ -4,13 +4,15 @@ Two halves keep the simulator trustworthy:
 
 * **static rules** (:mod:`repro.lint.rules`, run by
   :mod:`repro.lint.engine` and ``python -m repro.lint``): AST checks
-  REPRO001-REPRO006 for unseeded randomness, float equality, magic
-  size/latency literals, mutable defaults, swallowed exceptions and
-  wall-clock reads in simulation paths;
+  REPRO001-REPRO007 for unseeded randomness, float equality, magic
+  size/latency literals, mutable defaults, swallowed exceptions,
+  wall-clock reads in simulation paths, and broad exception handlers
+  in engine code outside the sanctioned resilience capture point;
 * **runtime contracts** (:mod:`repro.lint.contracts`): cheap invariant
   checks wired into the simulator's lifecycle points -- stats balance,
   Top-Down components sum to total cycles, metadata record counts match
-  replayed counts.
+  replayed counts, sweep-engine counters stay consistent even when a
+  sweep aborts mid-batch.
 
 Suppress a static finding inline with
 ``# repro-lint: disable=REPRO003`` (or ``disable=all``), or file-wide

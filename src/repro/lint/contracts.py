@@ -207,6 +207,47 @@ def check_invocation(result) -> None:
 
 
 # ----------------------------------------------------------------------
+# Sweep-engine contracts
+# ----------------------------------------------------------------------
+
+#: Counter fields of a ``SweepStats`` that must never go negative.
+_SWEEP_FIELDS = ("jobs", "hits", "misses", "stores", "failures", "retries")
+
+
+def check_sweep_stats(stats, name: str = "sweep stats") -> None:
+    """Validate an engine ``SweepStats`` object.
+
+    Called at the end of every sweep -- including sweeps whose executor
+    raised, so the invariants are inequalities over what *completed*:
+    every hit or miss maps to a distinct submitted job, only misses can
+    store results, and only misses can fail.
+    """
+    if not _ENABLED:
+        return
+    for field_name in _SWEEP_FIELDS:
+        value = getattr(stats, field_name)
+        if value < 0:
+            raise ContractViolationError(
+                f"{name}: counter {field_name} is negative ({value})"
+            )
+    if stats.hits + stats.misses > stats.jobs:
+        raise ContractViolationError(
+            f"{name}: hits ({stats.hits}) + misses ({stats.misses}) exceed "
+            f"submitted jobs ({stats.jobs})"
+        )
+    if stats.stores > stats.misses:
+        raise ContractViolationError(
+            f"{name}: stored {stats.stores} results but only "
+            f"{stats.misses} cells were simulated"
+        )
+    if stats.failures > stats.misses:
+        raise ContractViolationError(
+            f"{name}: {stats.failures} failures exceed the {stats.misses} "
+            f"cells that were simulated"
+        )
+
+
+# ----------------------------------------------------------------------
 # Jukebox metadata contracts
 # ----------------------------------------------------------------------
 

@@ -15,6 +15,7 @@ instance to :data:`ALL_RULES`.
 | REPRO004 | mutable default args & shared mutable class attributes        |
 | REPRO005 | bare ``except:`` / silently swallowed exceptions              |
 | REPRO006 | wall-clock or filesystem-order nondeterminism in sim paths    |
+| REPRO007 | broad ``except Exception`` in engine code outside resilience  |
 """
 
 from __future__ import annotations
@@ -468,6 +469,63 @@ class WallClock(Rule):
         )
 
 
+class BroadExceptInEngine(Rule):
+    """REPRO007: broad exception handlers in sweep-engine code.
+
+    The engine's failure semantics depend on errors reaching exactly one
+    chokepoint: ``resilience.execute_task`` captures *everything* into a
+    typed :class:`~repro.engine.resilience.JobError` so the taxonomy can
+    classify it.  A broad ``except Exception`` (or bare ``except``, or
+    ``except BaseException``) anywhere else in ``engine/`` would swallow
+    failures before that capture, mis-counting stats and silently
+    converting crashes into wrong results -- so ``resilience.py`` is the
+    only file allowed to catch broadly.
+    """
+
+    id = "REPRO007"
+    severity = "error"
+    scopes = ("engine/",)
+    excludes = ("engine/resilience.py",)
+    description = ("broad except Exception / bare except in engine code; "
+                   "only resilience.execute_task may capture broadly")
+
+    _BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                violations.append(self.violation(
+                    node, path,
+                    "bare except in engine code swallows failures before "
+                    "the resilience layer can classify them; catch a "
+                    "specific exception type",
+                ))
+                continue
+            for name in self._broad_names_in(node.type):
+                violations.append(self.violation(
+                    node, path,
+                    f"except {name} in engine code swallows failures "
+                    f"before the resilience layer can classify them; "
+                    f"catch a specific exception type (only "
+                    f"engine/resilience.py may capture broadly)",
+                ))
+        return violations
+
+    def _broad_names_in(self, type_node: ast.expr) -> List[str]:
+        nodes = (type_node.elts if isinstance(type_node, ast.Tuple)
+                 else [type_node])
+        names: List[str] = []
+        for node in nodes:
+            dotted = _dotted_name(node)
+            if dotted is not None and dotted in self._BROAD_NAMES:
+                names.append(dotted)
+        return names
+
+
 #: The registry walked by the engine and CLI, in id order.
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomness(),
@@ -476,6 +534,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     MutableDefault(),
     SwallowedException(),
     WallClock(),
+    BroadExceptInEngine(),
 )
 
 

@@ -1,0 +1,28 @@
+"""A millisecond-cheap config provider for engine resilience tests.
+
+Resilience tests need many sweep cells (20-cell batches, kill/retry
+schedules, serial-vs-pool oracles) and none of them care about simulator
+output -- only about which cells ran, failed, or were retried.  This
+module registers ``resilience_echo``: a builder that just echoes its
+inputs as a deterministic dict.  Jobs reference it via
+``provider="tests.engine.fake_provider"`` so pool workers import it on
+their own (the tests package is importable from the repo root, which is
+pytest's rootdir).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.experiments.common import register_config
+
+
+@register_config("resilience_echo")
+def build_resilience_echo(profile: Any, machine: Any, cfg: Any,
+                          **opts: Any) -> Dict[str, Any]:
+    return {
+        "profile": profile,
+        "machine": machine,
+        "cfg": cfg,
+        "opts": dict(sorted(opts.items())),
+    }

@@ -7,12 +7,24 @@ import pytest
 
 from repro.experiments.runner import (
     EXPERIMENTS,
+    Experiment,
     build_parser,
     default_cache_dir,
     main,
     run_experiment,
 )
 from repro.experiments.common import RunConfig
+
+
+@pytest.fixture
+def boom_experiment(monkeypatch):
+    """Register a registry entry whose run() always raises."""
+    def explode(cfg, **kwargs):
+        raise RuntimeError("injected experiment failure")
+
+    exp = Experiment("boom", "always fails", explode, lambda result: "")
+    monkeypatch.setitem(EXPERIMENTS, "boom", exp)
+    return exp
 
 
 class TestRegistry:
@@ -61,6 +73,32 @@ class TestParser:
         assert args.cache_dir is None
         assert not args.no_cache
         assert not args.as_json
+        assert args.retries == 0
+        assert not args.keep_going
+        assert args.inject_faults is None
+
+    def test_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["fig10", "--retries", "2", "--keep-going",
+             "--inject-fault", "fail:#3", "--inject-fault", "kill:#2",
+             "--maxtasksperchild", "8"])
+        assert args.retries == 2
+        assert args.keep_going
+        assert args.inject_faults == ["fail:#3", "kill:#2"]
+        assert args.maxtasksperchild == 8
+
+    def test_jobs_rejected_at_parse_time(self, capsys):
+        """--jobs 0 is a usage error argparse itself reports (exit 2)."""
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["fig10", "--jobs", "0"])
+        assert exc.value.code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_retries_reject_negative(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["fig10", "--retries", "-1"])
+        assert exc.value.code == 2
+        assert "--retries" in capsys.readouterr().err
 
 
 class TestCacheDir:
@@ -90,8 +128,14 @@ class TestMain:
         assert "unknown" in capsys.readouterr().err
 
     def test_rejects_nonpositive_jobs(self, capsys):
-        assert main(["table2", "--jobs", "0"]) == 2
+        with pytest.raises(SystemExit) as exc:
+            main(["table2", "--jobs", "0"])
+        assert exc.value.code == 2
         assert "--jobs" in capsys.readouterr().err
+
+    def test_rejects_malformed_fault_spec(self, capsys):
+        assert main(["table2", "--inject-fault", "explode:#1"]) == 2
+        assert "--inject-fault" in capsys.readouterr().err
 
     def test_rejects_no_cache_with_cache_dir(self, capsys, tmp_path):
         """An explicit --cache-dir contradicts --no-cache; silently
@@ -124,6 +168,36 @@ class TestMain:
         warm = json.loads(capsys.readouterr().out)[0]["engine"]
         assert warm["simulated"] == 0
         assert warm["cache_hits"] == cold["simulated"]
+
+    def test_failing_experiment_exits_3(self, capsys, boom_experiment):
+        assert main(["boom"]) == 3
+        err = capsys.readouterr().err
+        assert "boom FAILED" in err
+        assert "injected experiment failure" in err
+        assert "1 experiment(s) failed: boom" in err
+
+    def test_failure_stops_the_run_by_default(self, capsys, boom_experiment):
+        assert main(["boom", "table2"]) == 3
+        assert "Table 2" not in capsys.readouterr().out
+
+    def test_keep_going_finishes_remaining(self, capsys, boom_experiment):
+        assert main(["boom", "table2", "--keep-going"]) == 3
+        captured = capsys.readouterr()
+        assert "Table 2" in captured.out
+        assert "1 experiment(s) failed: boom" in captured.err
+
+    def test_json_records_the_failure(self, capsys, boom_experiment):
+        assert main(["boom", "--json"]) == 3
+        records = json.loads(capsys.readouterr().out)
+        assert records[0]["report"] is None
+        assert "RuntimeError" in records[0]["error"]
+        assert records[0]["engine"]["failures"] == 0
+
+    def test_json_success_has_null_error(self, capsys):
+        assert main(["table2", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records[0]["error"] is None
+        assert records[0]["engine"]["retries"] == 0
 
     def test_run_experiment_helper(self):
         cfg = RunConfig(invocations=3, warmup=1, instruction_scale=0.15)

@@ -1,0 +1,23 @@
+"""REPRO007 positive fixture: broad exception handlers in engine code."""
+
+
+def collect(results, source):
+    try:
+        results.append(source())
+    except Exception:
+        results.append(None)
+
+
+def drain(queue):
+    try:
+        return queue.pop()
+    except (ValueError, BaseException):
+        return None
+
+
+def shutdown(pool):
+    try:
+        pool.terminate()
+    except:  # noqa: E722
+        return False
+    return True

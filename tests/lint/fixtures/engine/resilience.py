@@ -1,0 +1,9 @@
+"""REPRO007 negative fixture: ``engine/resilience.py`` is the sanctioned
+broad-capture point, so the same handlers must stay silent here."""
+
+
+def execute(task, capture):
+    try:
+        return task()
+    except Exception as exc:
+        return capture(exc)

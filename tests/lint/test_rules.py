@@ -150,6 +150,27 @@ class TestREPRO006:
         assert "sorted(os.listdir(directory))" in fixed_source
 
 
+class TestREPRO007:
+    def test_positive(self, fixture_violations):
+        found = _for_file(fixture_violations, "bad_broad_except.py")
+        assert {v.rule_id for v in found} == {"REPRO007"}
+        assert len(found) == 3  # except Exception, tuple BaseException, bare
+        messages = " ".join(v.message for v in found)
+        assert "Exception" in messages
+        assert "bare except" in messages
+
+    def test_sanctioned_capture_point_is_exempt(self, fixture_violations):
+        assert not _for_file(fixture_violations, "resilience.py")
+
+    def test_scoped_to_engine_only(self):
+        rule = get_rule("REPRO007")
+        assert rule.applies_to("engine/executors.py")
+        assert rule.applies_to("engine/sweep.py")
+        assert not rule.applies_to("engine/resilience.py")
+        assert not rule.applies_to("experiments/runner.py")
+        assert not rule.applies_to("core/keepalive.py")
+
+
 class TestSuppression:
     def test_inline_disable(self, fixture_violations):
         assert not _for_file(fixture_violations, "suppressed.py")
