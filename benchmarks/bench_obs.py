@@ -1,0 +1,79 @@
+"""Benchmark: overhead of the always-on observability layer.
+
+The engine carries an in-memory :class:`~repro.obs.tracer.Tracer` on
+every context, so its cost rides on every sweep.  These tests pin that
+cost from two directions: a microbenchmark of the raw ``emit`` path, and
+an end-to-end guard asserting that a traced sweep stays within 3% of the
+same sweep observed by a :class:`~repro.obs.tracer.NullTracer`.
+
+Timing uses repeated-min (the minimum of several trials estimates the
+noise-free cost; means conflate scheduler jitter with real overhead).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import engine
+from repro.experiments.common import RunConfig
+from repro.obs import records
+from repro.obs.tracer import NullTracer, Tracer
+from repro.sim.params import skylake
+from repro.workloads.suite import get_profile
+
+BENCH_CFG = RunConfig(invocations=3, warmup=1, instruction_scale=0.1)
+
+#: Maximum tolerated traced-over-untraced sweep slowdown.
+MAX_OVERHEAD = 0.03
+
+
+def _jobs():
+    machine = skylake()
+    return [engine.Job.make(get_profile(a), machine, BENCH_CFG, c)
+            for a in ("Auth-G", "Email-P")
+            for c in ("baseline", "jukebox")]
+
+
+def _min_of(fn, trials: int = 5) -> float:
+    best = float("inf")
+    for _ in range(trials):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_emit_microbenchmark(benchmark):
+    """Raw cost of one traced event (validation + counters + window)."""
+    tracer = Tracer()
+
+    def emit():
+        tracer.emit(records.CACHE_HIT, key="0123456789abcdef")
+
+    benchmark(emit)
+    assert tracer.counts["cache.hit"] == tracer.events_emitted
+
+
+def test_tracer_overhead_under_3_percent():
+    """A traced sweep must cost within 3% of a NullTracer sweep.
+
+    Both variants simulate the same four cells; only the tracer differs.
+    Repeated-min on each side keeps the comparison about the tracer, not
+    about scheduler noise.
+    """
+    jobs = _jobs()
+
+    def run_with(tracer):
+        with engine.configure(tracer=tracer):
+            return engine.sweep(jobs)
+
+    run_with(NullTracer())  # warm code paths and trace memory allocators
+
+    untraced = _min_of(lambda: run_with(NullTracer()))
+    traced = _min_of(lambda: run_with(Tracer()))
+    overhead = traced / untraced - 1.0
+    print(f"\nuntraced {untraced:.3f}s, traced {traced:.3f}s, "
+          f"overhead {overhead:+.2%}")
+    assert overhead < MAX_OVERHEAD, (
+        f"tracer overhead {overhead:.2%} exceeds {MAX_OVERHEAD:.0%} "
+        f"(untraced {untraced:.3f}s vs traced {traced:.3f}s)")

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a change must pass before it merges.
+#
+#   scripts/check.sh           # full suite + lint
+#   scripts/check.sh --fast    # skip the slow integration/golden suites
+#
+# Order: the determinism linter first (it is seconds and catches whole
+# classes of nondeterminism before any simulation runs), then the test
+# suite, whose golden-figure and differential batteries byte-compare
+# simulator output against the committed snapshots under tests/golden/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+
+echo "== repro.lint (determinism rules, src/) =="
+python -m repro.lint src/
+
+if [[ "${1:-}" == "--fast" ]]; then
+    echo "== pytest (fast: unit suites only) =="
+    python -m pytest -q \
+        --ignore=tests/integration \
+        --ignore=tests/test_golden_figures.py
+else
+    echo "== pytest (full tier-1 suite, incl. golden-trace comparator) =="
+    python -m pytest -q
+fi
+
+echo "OK: lint + tests passed"

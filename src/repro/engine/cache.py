@@ -20,7 +20,9 @@ import pickle
 import shutil
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Tuple, Union
+from typing import Any, Optional, Tuple, Union
+
+from repro.obs import records as _obs
 
 
 @dataclass
@@ -51,12 +53,29 @@ _STALE_ENTRY_ERRORS = (OSError, pickle.UnpicklingError, EOFError,
                        AttributeError, ImportError, IndexError, ValueError)
 
 
-class ResultCache:
-    """A content-addressed pickle store rooted at one directory."""
+#: Length of the key prefix carried on trace events -- enough to identify
+#: a cell in a report without bloating every record with full digests.
+_TRACE_KEY_CHARS = 16
 
-    def __init__(self, root: Union[str, Path]) -> None:
+
+class ResultCache:
+    """A content-addressed pickle store rooted at one directory.
+
+    ``tracer`` is an optionally injected :class:`repro.obs.tracer.Tracer`;
+    when present every lookup/store/eviction emits a typed trace event.
+    The cache never creates a tracer itself -- it observes through
+    whatever the engine context wired in.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 tracer: Optional[Any] = None) -> None:
         self.root = Path(root)
         self.stats = CacheStats()
+        self.tracer = tracer
+
+    def _emit(self, kind: str, key: str, **fields: Any) -> None:
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(kind, key=key[:_TRACE_KEY_CHARS], **fields)
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -69,6 +88,7 @@ class ResultCache:
                 value = pickle.load(fh)
         except FileNotFoundError:
             self.stats.misses += 1
+            self._emit(_obs.CACHE_MISS, key)
             return False, None
         except _STALE_ENTRY_ERRORS:
             # Entry is corrupt or predates a payload-class change: evict it
@@ -77,8 +97,11 @@ class ResultCache:
             self.stats.misses += 1
             with contextlib.suppress(OSError):
                 path.unlink()
+            self._emit(_obs.CACHE_EVICT, key, reason="stale")
+            self._emit(_obs.CACHE_MISS, key)
             return False, None
         self.stats.hits += 1
+        self._emit(_obs.CACHE_HIT, key)
         return True, value
 
     def put(self, key: str, value: Any) -> None:
@@ -93,6 +116,7 @@ class ResultCache:
             with contextlib.suppress(OSError):
                 tmp.unlink()
         self.stats.stores += 1
+        self._emit(_obs.CACHE_STORE, key)
 
     def corrupt(self, key: str) -> bool:
         """Overwrite an existing entry with unpicklable garbage.
@@ -107,6 +131,7 @@ class ResultCache:
             return False
         with open(path, "wb") as fh:
             fh.write(b"\x80corrupted-by-fault-injection")
+        self._emit(_obs.CACHE_CORRUPT, key)
         return True
 
     def __len__(self) -> int:

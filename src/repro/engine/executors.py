@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
 from repro.engine.resilience import JobOutcome, Task, execute_task
 from repro.errors import ConfigurationError
+from repro.obs import records as _obs
 
 if TYPE_CHECKING:
     from repro.engine.job import Job
@@ -93,7 +94,8 @@ class ProcessExecutor:
 
     def __init__(self, jobs: int,
                  maxtasksperchild: Optional[int] = DEFAULT_MAXTASKSPERCHILD,
-                 max_pool_failures: int = DEFAULT_MAX_POOL_FAILURES) -> None:
+                 max_pool_failures: int = DEFAULT_MAX_POOL_FAILURES,
+                 tracer: Optional[Any] = None) -> None:
         if jobs < 1:
             raise ConfigurationError(
                 f"executor needs at least one worker, got jobs={jobs}")
@@ -107,9 +109,17 @@ class ProcessExecutor:
         self.jobs = jobs
         self.maxtasksperchild = maxtasksperchild
         self.max_pool_failures = max_pool_failures
+        #: Optionally injected tracer for pool-lifecycle events; lives on
+        #: the parent side only (workers never see it), so the executor
+        #: stays picklable-free of sinks.
+        self.tracer = tracer
         #: Pools abandoned after a worker crash (observable by tests and
         #: the runner's failure footer).
         self.pool_restarts = 0
+
+    def _emit(self, kind: str, **fields: Any) -> None:
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(kind, **fields)
 
     def run(self, jobs: Sequence["Job"]) -> List[Any]:
         """Legacy value API: unwraps outcomes, re-raising the first error."""
@@ -128,9 +138,13 @@ class ProcessExecutor:
                 break
             crashes += 1
             self.pool_restarts += 1
+            self._emit(_obs.POOL_DEATH, crashes=crashes,
+                       pending=len(pending))
             pending = {index: task.redispatch()
                        for index, task in pending.items()}
             if crashes >= self.max_pool_failures:
+                self._emit(_obs.POOL_DEGRADE, crashes=crashes,
+                           pending=len(pending))
                 warnings.warn(
                     f"sweep pool lost a worker {crashes} time(s); degrading "
                     f"to serial execution for the {len(pending)} unfinished "
@@ -220,11 +234,12 @@ class ProcessExecutor:
 
 def get_executor(jobs: int = 1,
                  maxtasksperchild: Optional[int] = DEFAULT_MAXTASKSPERCHILD,
-                 ) -> Any:
+                 tracer: Optional[Any] = None) -> Any:
     """Executor for ``jobs`` workers (serial when ``jobs == 1``)."""
     if jobs < 1:
         raise ConfigurationError(
             f"executor needs at least one worker, got jobs={jobs}")
     if jobs == 1:
         return SerialExecutor()
-    return ProcessExecutor(jobs, maxtasksperchild=maxtasksperchild)
+    return ProcessExecutor(jobs, maxtasksperchild=maxtasksperchild,
+                           tracer=tracer)

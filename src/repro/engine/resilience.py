@@ -45,6 +45,7 @@ from typing import (
 )
 
 from repro.errors import ConfigurationError, ReproError, SweepFailure, WorkerCrashError
+from repro.obs import records as _obs
 
 #: Error classes of the retry taxonomy.  A *transient* error is worth
 #: retrying (flaky infrastructure, injected chaos); a *permanent* one is a
@@ -314,11 +315,20 @@ def execute_task(task: Task) -> JobOutcome:
                       attempts=task.attempt + 1)
 
 
+def _job_label(task: Task) -> str:
+    """A stable human identity for a task's cell on trace events."""
+    describe = getattr(task.job, "describe", None)
+    if callable(describe):
+        return str(describe())
+    return f"cell-{task.index}"
+
+
 def run_with_policy(executor: Any, tasks: Sequence[Task],
                     policy: FailurePolicy,
                     sleep: Optional[Callable[[float], None]] = None,
                     on_outcome: Optional[Callable[[Task, JobOutcome], None]] = None,
-                    stats: Optional[Any] = None) -> List[JobOutcome]:
+                    stats: Optional[Any] = None,
+                    tracer: Optional[Any] = None) -> List[JobOutcome]:
     """Drive tasks through an executor in rounds, retrying per policy.
 
     Each round dispatches the whole open frontier as one batch (so a
@@ -328,12 +338,33 @@ def run_with_policy(executor: Any, tasks: Sequence[Task],
     completes -- the sweep layer uses it to checkpoint finished results
     into the cache *before* the batch (or the run) is over.  Results come
     back in submission order regardless of rounds.
+
+    ``tracer`` (optional, injected) observes the round structure:
+    ``executor.dispatch`` per submitted attempt, ``executor.harvest`` as
+    each attempt's outcome arrives, and ``retry.backoff`` when a failure
+    is re-queued.  All events are emitted on the parent side -- workers
+    never see the tracer, so executors stay picklable and custom
+    ``run_tasks`` signatures stay untouched.
     """
+    tracing = tracer is not None and tracer.enabled
     final: Dict[int, JobOutcome] = {}
     history: Dict[int, Tuple[JobError, ...]] = {}
     round_tasks = list(tasks)
+    harvest = on_outcome
+    if tracing:
+        def harvest(task: Task, outcome: JobOutcome) -> None:
+            tracer.emit(_obs.HARVEST, job=_job_label(task),
+                        index=task.index, attempt=task.attempt,
+                        ok=outcome.ok)
+            if on_outcome is not None:
+                on_outcome(task, outcome)
     while round_tasks:
-        computed = executor.run_tasks(round_tasks, on_outcome=on_outcome)
+        if tracing:
+            for task in round_tasks:
+                tracer.emit(_obs.DISPATCH, job=_job_label(task),
+                            index=task.index, attempt=task.attempt,
+                            dispatch=task.dispatch)
+        computed = executor.run_tasks(round_tasks, on_outcome=harvest)
         next_round: List[Task] = []
         for task, outcome in zip(round_tasks, computed):
             if outcome.ok:
@@ -348,6 +379,11 @@ def run_with_policy(executor: Any, tasks: Sequence[Task],
                 history[task.index] = errors
                 if stats is not None:
                     stats.retries += 1
+                if tracing:
+                    tracer.emit(_obs.RETRY, job=_job_label(task),
+                                index=task.index, attempt=task.attempt,
+                                delay_s=delay,
+                                error=errors[-1].type_name)
                 if sleep is not None and delay > 0:
                     sleep(delay)
                 next_round.append(task.retry())

@@ -60,6 +60,9 @@ from repro.engine.resilience import (
 from repro.errors import ConfigurationError
 from repro.faults import FaultPlan
 from repro.lint import contracts
+from repro.obs import records as _obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import JsonlSink, Tracer
 
 
 @dataclass
@@ -128,6 +131,14 @@ class EngineContext:
     #: deterministic delay *values* are computed either way, only their
     #: real-time application is optional.
     sleep: Optional[Callable[[float], None]] = None
+    #: The always-on in-memory event collector (``repro.obs``).  Injected
+    #: per context -- never a module-level singleton (REPRO008) -- and
+    #: timestamped only by the context's injected ``clock``, so jobs and
+    #: cache keys never observe it.
+    tracer: Any = field(default_factory=Tracer)
+    #: Counter/gauge/histogram registry the sweep layer publishes into;
+    #: exported by the runner behind ``--metrics-out``.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
 
 #: The zero-configuration default context (serial, uncached), shared by
@@ -156,19 +167,46 @@ def configure(jobs: int = 1,
               faults: Any = None,
               sleep: Optional[Callable[[float], None]] = None,
               maxtasksperchild: Optional[int] = DEFAULT_MAXTASKSPERCHILD,
+              tracer: Any = None,
+              trace_path: Optional[Union[str, Path]] = None,
+              metrics: Optional[MetricsRegistry] = None,
               ) -> Iterator[EngineContext]:
-    """Activate an engine context for the duration of the ``with`` block."""
+    """Activate an engine context for the duration of the ``with`` block.
+
+    Observability wiring: pass an explicit ``tracer`` to observe through
+    it, or just a ``trace_path`` to get a fresh tracer writing canonical
+    JSONL there (closed -- flushed -- when the block exits).  With
+    neither, the context still carries an in-memory tracer so the footer
+    always has counters to read.  Trace timestamps come from ``clock``;
+    with no clock configured, events carry ``t: null`` and the trace is
+    fully deterministic.
+    """
+    if tracer is not None and trace_path is not None:
+        raise ConfigurationError(
+            "pass either tracer= or trace_path=, not both; attach a "
+            "JsonlSink to your tracer instead")
+    owns_tracer = tracer is None
+    if tracer is None:
+        sinks = (JsonlSink(trace_path),) if trace_path is not None else ()
+        tracer = Tracer(clock=clock, sinks=sinks)
     if cache is None and cache_dir is not None:
-        cache = ResultCache(cache_dir)
+        cache = ResultCache(cache_dir, tracer=tracer)
+    elif cache is not None and cache.tracer is None:
+        cache.tracer = tracer
     ctx = EngineContext(
-        executor=get_executor(jobs, maxtasksperchild=maxtasksperchild),
+        executor=get_executor(jobs, maxtasksperchild=maxtasksperchild,
+                              tracer=tracer),
         cache=cache, clock=clock, policy=policy,
-        faults=FaultPlan.coerce(faults), sleep=sleep)
+        faults=FaultPlan.coerce(faults), sleep=sleep,
+        tracer=tracer, metrics=metrics if metrics is not None
+        else MetricsRegistry())
     token = _CONTEXT.set(ctx)
     try:
         yield ctx
     finally:
         _CONTEXT.reset(token)
+        if owns_tracer:
+            tracer.close()
 
 
 def _resolve_policy(policy: Optional[FailurePolicy],
@@ -198,6 +236,11 @@ def sweep_outcomes(jobs: Sequence[Job],
     ctx = context if context is not None else current_context()
     eff = _resolve_policy(policy, ctx)
     stats = ctx.stats
+    tracer = ctx.tracer
+    tracing = tracer is not None and tracer.enabled
+    before = stats.snapshot()
+    if tracing:
+        tracer.emit(_obs.SWEEP_BEGIN, jobs=len(jobs), policy=eff.mode)
     stats.jobs += len(jobs)
     outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
     pending: List[Task] = []
@@ -229,7 +272,7 @@ def sweep_outcomes(jobs: Sequence[Job],
         try:
             computed = run_with_policy(
                 ctx.executor, pending, eff, sleep=ctx.sleep,
-                on_outcome=checkpoint, stats=stats)
+                on_outcome=checkpoint, stats=stats, tracer=tracer)
         finally:
             if started is not None:
                 stats.sim_seconds += ctx.clock() - started
@@ -238,7 +281,34 @@ def sweep_outcomes(jobs: Sequence[Job],
             if outcome.failed:
                 stats.failures += 1
     contracts.check_sweep_stats(stats)
+    delta = stats.since(before)
+    if tracing:
+        # The end record carries the batch's counter deltas but *not*
+        # sim_seconds: that value is clock-derived, and keeping it off the
+        # trace is what makes identical runs trace-identical modulo ``t``.
+        tracer.emit(_obs.SWEEP_END, jobs=delta.jobs, hits=delta.hits,
+                    misses=delta.misses, stores=delta.stores,
+                    failures=delta.failures, retries=delta.retries)
+    _publish_sweep_metrics(ctx.metrics, delta, stats)
     return outcomes  # type: ignore[return-value]
+
+
+def _publish_sweep_metrics(metrics: Optional[MetricsRegistry],
+                           delta: SweepStats, total: SweepStats) -> None:
+    """Publish one batch's deltas into the context's metrics registry."""
+    if metrics is None:
+        return
+    metrics.counter("engine.sweeps").inc()
+    metrics.counter("engine.jobs").inc(delta.jobs)
+    metrics.counter("engine.hits").inc(delta.hits)
+    metrics.counter("engine.misses").inc(delta.misses)
+    metrics.counter("engine.stores").inc(delta.stores)
+    metrics.counter("engine.failures").inc(delta.failures)
+    metrics.counter("engine.retries").inc(delta.retries)
+    metrics.gauge("engine.hit_rate").set(total.hit_rate)
+    metrics.gauge("engine.sim_seconds").set(total.sim_seconds)
+    metrics.histogram("engine.sweep_jobs",
+                      bounds=(1, 4, 16, 64, 256, 1024)).observe(delta.jobs)
 
 
 def sweep(jobs: Sequence[Job],

@@ -34,6 +34,15 @@ class ContractViolationError(SimulationError):
     """
 
 
+class TraceSchemaError(ReproError):
+    """A trace record violates the :mod:`repro.obs` schema.
+
+    Raised when an event is emitted with an unknown kind or a non-scalar
+    payload, or when a trace file read back for summarization contains a
+    malformed or version-mismatched record.
+    """
+
+
 class SweepFailure(ReproError):
     """A sweep cell failed and its original exception could not be
     re-raised directly (e.g. the worker-side exception was unpicklable).

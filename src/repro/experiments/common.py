@@ -278,39 +278,45 @@ class _TeeHook:
 # ---------------------------------------------------------------------------
 # Deprecated closure-style entry points (pre-engine API).
 
-def _deprecated_forward(old_name: str, config: str) -> None:
-    warnings.warn(
-        f"{old_name}() is deprecated; use "
-        f"run_config(profile, machine, cfg, {config!r}) or submit a "
-        f"repro.engine Job",
-        DeprecationWarning, stacklevel=3)
+def _deprecation_message(old_name: str, config: str) -> str:
+    return (f"{old_name}() is deprecated; use "
+            f"run_config(profile, machine, cfg, {config!r}) or submit a "
+            f"repro.engine Job")
 
+
+# Each wrapper calls warnings.warn() itself with a literal stacklevel=2,
+# so the warning is attributed to the *caller's* line -- the place that
+# actually needs migrating -- rather than to a shared helper frame.
 
 def run_reference(profile: FunctionProfile, machine: MachineParams,
                   cfg: RunConfig) -> SequenceResult:
     """Deprecated: use ``run_config(profile, machine, cfg, "reference")``."""
-    _deprecated_forward("run_reference", "reference")
+    warnings.warn(_deprecation_message("run_reference", "reference"),
+                  DeprecationWarning, stacklevel=2)
     return run_config(profile, machine, cfg, "reference")
 
 
 def run_baseline(profile: FunctionProfile, machine: MachineParams,
                  cfg: RunConfig) -> SequenceResult:
     """Deprecated: use ``run_config(profile, machine, cfg, "baseline")``."""
-    _deprecated_forward("run_baseline", "baseline")
+    warnings.warn(_deprecation_message("run_baseline", "baseline"),
+                  DeprecationWarning, stacklevel=2)
     return run_config(profile, machine, cfg, "baseline")
 
 
 def run_jukebox(profile: FunctionProfile, machine: MachineParams,
                 cfg: RunConfig) -> SequenceResult:
     """Deprecated: use ``run_config(profile, machine, cfg, "jukebox")``."""
-    _deprecated_forward("run_jukebox", "jukebox")
+    warnings.warn(_deprecation_message("run_jukebox", "jukebox"),
+                  DeprecationWarning, stacklevel=2)
     return run_config(profile, machine, cfg, "jukebox")
 
 
 def run_perfect_icache(profile: FunctionProfile, machine: MachineParams,
                        cfg: RunConfig) -> SequenceResult:
     """Deprecated: use ``run_config(profile, machine, cfg, "perfect")``."""
-    _deprecated_forward("run_perfect_icache", "perfect")
+    warnings.warn(_deprecation_message("run_perfect_icache", "perfect"),
+                  DeprecationWarning, stacklevel=2)
     return run_config(profile, machine, cfg, "perfect")
 
 
@@ -318,7 +324,8 @@ def run_pif(profile: FunctionProfile, machine: MachineParams, cfg: RunConfig,
             params: PIFParams,
             with_jukebox: bool = False) -> SequenceResult:
     """Deprecated: use ``run_config(..., "pif", params=..., with_jukebox=...)``."""
-    _deprecated_forward("run_pif", "pif")
+    warnings.warn(_deprecation_message("run_pif", "pif"),
+                  DeprecationWarning, stacklevel=2)
     return run_config(profile, machine, cfg, "pif", params=params,
                       with_jukebox=with_jukebox)
 

@@ -176,6 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
                              f"${CACHE_DIR_ENV} or ~/.cache/lukewarm-repro)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache for this run")
+    parser.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                        help="write a repro.obs JSONL event trace to FILE "
+                             "(inspect with 'python -m repro.obs summarize')")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        metavar="FILE", dest="metrics_out",
+                        help="write the engine metrics registry to FILE as "
+                             "canonical JSON")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit reports plus engine stats as JSON")
     return parser
@@ -234,7 +241,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     with engine.configure(jobs=args.jobs, cache_dir=cache_dir,
                           clock=time.perf_counter, policy=policy,
                           faults=faults, sleep=time.sleep,
-                          maxtasksperchild=args.maxtasksperchild) as ctx:
+                          maxtasksperchild=args.maxtasksperchild,
+                          trace_path=args.trace) as ctx:
         for name in names:
             before = ctx.stats.snapshot()
             started = time.time()
@@ -277,8 +285,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                       f"({delta.describe()}) --\n")
             if error is not None and not args.keep_going:
                 break
+        if args.metrics_out is not None:
+            ctx.metrics.write_json(args.metrics_out)
+        footer = ctx.tracer.describe()
     if args.as_json:
         print(json.dumps(records, indent=2))
+    elif footer != "obs: no events":
+        print(footer)
+    if args.trace is not None:
+        print(f"trace written to {args.trace} "
+              f"({ctx.tracer.events_emitted} events)", file=sys.stderr)
     if failed:
         summary = ", ".join(name for name, _ in failed)
         print(f"{len(failed)} experiment(s) failed: {summary}; completed "

@@ -248,6 +248,37 @@ def check_sweep_stats(stats, name: str = "sweep stats") -> None:
 
 
 # ----------------------------------------------------------------------
+# Observability contracts
+# ----------------------------------------------------------------------
+
+def check_trace_event(event, name: str = "trace event") -> None:
+    """Validate one emitted ``TraceEvent`` (duck-typed, no obs import).
+
+    The schema itself is enforced by ``repro.obs.records.validate_event``;
+    this contract guards the structural invariants the tracer relies on:
+    a non-negative sequence number, a dotted event kind, and a payload
+    stored as sorted ``(key, value)`` pairs so records compare and
+    serialize deterministically.
+    """
+    if not _ENABLED:
+        return
+    if event.seq < 0:
+        raise ContractViolationError(
+            f"{name}: sequence number is negative ({event.seq})"
+        )
+    if not isinstance(event.kind, str) or "." not in event.kind:
+        raise ContractViolationError(
+            f"{name}: kind must be a dotted string, got {event.kind!r}"
+        )
+    keys = [key for key, _ in event.fields]
+    if keys != sorted(keys):
+        raise ContractViolationError(
+            f"{name}: payload keys are not sorted ({keys!r}); records "
+            f"would serialize nondeterministically"
+        )
+
+
+# ----------------------------------------------------------------------
 # Jukebox metadata contracts
 # ----------------------------------------------------------------------
 

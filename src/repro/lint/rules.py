@@ -16,6 +16,8 @@ instance to :data:`ALL_RULES`.
 | REPRO005 | bare ``except:`` / silently swallowed exceptions              |
 | REPRO006 | wall-clock or filesystem-order nondeterminism in sim paths    |
 | REPRO007 | broad ``except Exception`` in engine code outside resilience  |
+| REPRO008 | module-level tracer/metrics singletons (observability must be |
+|          | injected per context, never ambient global state)             |
 """
 
 from __future__ import annotations
@@ -405,7 +407,7 @@ class WallClock(Rule):
     id = "REPRO006"
     severity = "error"
     autofixable = True
-    scopes = ("sim/", "core/", "analysis/", "workloads/", "engine/")
+    scopes = ("sim/", "core/", "analysis/", "workloads/", "engine/", "obs/")
     description = ("wall-clock / nondeterministic call in a simulation "
                    "path; use simulated cycles and sorted listings")
 
@@ -480,11 +482,15 @@ class BroadExceptInEngine(Rule):
     failures before that capture, mis-counting stats and silently
     converting crashes into wrong results -- so ``resilience.py`` is the
     only file allowed to catch broadly.
+
+    The observability layer (``obs/``) is held to the same bar: a tracer
+    or summarizer that swallowed an error would report a clean run that
+    was not.
     """
 
     id = "REPRO007"
     severity = "error"
-    scopes = ("engine/",)
+    scopes = ("engine/", "obs/")
     excludes = ("engine/resilience.py",)
     description = ("broad except Exception / bare except in engine code; "
                    "only resilience.execute_task may capture broadly")
@@ -526,6 +532,64 @@ class BroadExceptInEngine(Rule):
         return names
 
 
+class GlobalObservability(Rule):
+    """REPRO008: module-level tracer/metrics singletons.
+
+    Observability state must be *injected*: a tracer or metrics registry
+    constructed at module level is ambient global state -- two engine
+    contexts would interleave their event streams, imports would mutate
+    shared counters, and a test could never isolate the trace of the run
+    under test.  Construct observability objects inside a context
+    (``engine.configure``), a fixture, or a ``field(default_factory=...)``
+    -- never at import time.
+    """
+
+    id = "REPRO008"
+    severity = "error"
+    description = ("module-level Tracer/MetricsRegistry singleton; "
+                   "observability must be injected per context, not "
+                   "ambient global state")
+
+    _OBS_FACTORIES = frozenset({
+        "Tracer", "NullTracer", "MetricsRegistry", "MemorySink", "JsonlSink",
+    })
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        # Only module-level statements are singleton definitions; the same
+        # constructor inside a function, method, or field(default_factory=)
+        # builds per-context state and is exactly what we want.
+        for stmt in tree.body:
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if value is None:
+                continue
+            for call in ast.walk(value):
+                if not isinstance(call, ast.Call):
+                    continue
+                name = self._factory_name(call.func)
+                if name is not None:
+                    violations.append(self.violation(
+                        call, path,
+                        f"module-level {name}() creates an ambient "
+                        f"observability singleton; construct it inside an "
+                        f"engine context, fixture, or default_factory "
+                        f"instead",
+                    ))
+        return violations
+
+    def _factory_name(self, func: ast.expr) -> Optional[str]:
+        dotted = _dotted_name(func)
+        if dotted is None:
+            return None
+        leaf = dotted.rsplit(".", 1)[-1]
+        return leaf if leaf in self._OBS_FACTORIES else None
+
+
 #: The registry walked by the engine and CLI, in id order.
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomness(),
@@ -535,6 +599,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     SwallowedException(),
     WallClock(),
     BroadExceptInEngine(),
+    GlobalObservability(),
 )
 
 

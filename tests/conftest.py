@@ -4,6 +4,20 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the golden figure snapshots under tests/golden/ "
+             "instead of comparing against them (commit the diff and "
+             "explain the model change in the PR)")
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """Whether this run should rewrite golden snapshots, not compare."""
+    return request.config.getoption("--update-golden")
+
 from repro.experiments.common import RunConfig
 from repro.sim.params import (
     CacheParams,

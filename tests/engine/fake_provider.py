@@ -26,3 +26,25 @@ def build_resilience_echo(profile: Any, machine: Any, cfg: Any,
         "cfg": cfg,
         "opts": dict(sorted(opts.items())),
     }
+
+
+@register_config("diff_numeric")
+def build_diff_numeric(profile: Any, machine: Any, cfg: Any,
+                       scale: float = 1.0, **opts: Any) -> Dict[str, Any]:
+    """A JSON-only deterministic cell for differential equivalence tests.
+
+    Returns pure scalars derived from a seeded RNG over the cell's
+    identity, so serial, pooled, cached, and fault-retried sweeps over the
+    same grid must serialize to byte-identical canonical JSON.
+    """
+    import random
+
+    rng = random.Random(f"{profile.abbrev}:{cfg.seed}:{scale}")
+    return {
+        "abbrev": profile.abbrev,
+        "seed": cfg.seed,
+        "scale": scale,
+        "value": round(rng.random(), 12),
+        "draws": [round(rng.random(), 12) for _ in range(4)],
+        "opts": dict(sorted(opts.items())),
+    }

@@ -1,0 +1,120 @@
+"""Property tests for ``canonicalize``: stability under pickling.
+
+``Job.key()`` is the cache-addressing fingerprint, so ``canonicalize``
+must map a value and its pickle round-trip to the *same* canonical form
+-- otherwise a job built in a pool worker (whose inputs crossed a pickle
+boundary) would cache-miss against the identical job built in the parent.
+A seeded ``random.Random`` generates nested structures from the full
+canonicalizable vocabulary (scalars, dicts, lists, tuples, sets,
+dataclasses) and the property is checked on each.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+import random
+from typing import Any, Tuple
+
+import pytest
+
+from repro.engine.job import canonicalize
+from repro.errors import ConfigurationError
+
+SEEDS = (0, 1, 2, 3, 4, 5, 6, 7)
+VALUES_PER_SEED = 25
+MAX_DEPTH = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class Point:
+    """A picklable dataclass to exercise the ``__dataclass__`` branch."""
+
+    x: float
+    label: str
+    tags: Tuple[str, ...] = ()
+
+
+def random_scalar(rng: random.Random) -> Any:
+    choice = rng.randrange(6)
+    if choice == 0:
+        return None
+    if choice == 1:
+        return rng.random() < 0.5
+    if choice == 2:
+        return rng.randrange(-1000, 1000)
+    if choice == 3:
+        # round() keeps the float exactly representable after json dumps.
+        return round(rng.uniform(-10.0, 10.0), 9)
+    if choice == 4:
+        return "".join(rng.choice("abcxyz_0123") for _ in range(rng.randrange(8)))
+    return Point(x=round(rng.random(), 6), label=rng.choice("abc"),
+                 tags=tuple(rng.choice("pq") for _ in range(rng.randrange(3))))
+
+
+def random_value(rng: random.Random, depth: int = 0) -> Any:
+    if depth >= MAX_DEPTH or rng.random() < 0.4:
+        return random_scalar(rng)
+    kind = rng.randrange(4)
+    size = rng.randrange(4)
+    if kind == 0:
+        return {f"k{rng.randrange(10)}": random_value(rng, depth + 1)
+                for _ in range(size)}
+    if kind == 1:
+        return [random_value(rng, depth + 1) for _ in range(size)]
+    if kind == 2:
+        return tuple(random_value(rng, depth + 1) for _ in range(size))
+    # Sets need hashable members: scalars (Point is frozen, so hashable).
+    return {random_scalar(rng) for _ in range(size)}
+
+
+def encode(value: Any) -> str:
+    return json.dumps(canonicalize(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_canonicalize_survives_pickle_round_trip(seed):
+    """canonicalize(x) == canonicalize(pickle.loads(pickle.dumps(x))) --
+    the property that keeps cache keys stable across pool workers."""
+    rng = random.Random(seed)
+    for step in range(VALUES_PER_SEED):
+        value = random_value(rng)
+        round_tripped = pickle.loads(pickle.dumps(value))
+        assert encode(value) == encode(round_tripped), (
+            f"seed={seed} step={step}: pickle changed the canonical form "
+            f"of {value!r}")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_canonical_form_is_json_round_trip_stable(seed):
+    """The canonical form survives a JSON encode/decode unchanged, so the
+    cache key derived from it is pure data with no Python-only residue."""
+    rng = random.Random(seed)
+    for step in range(VALUES_PER_SEED):
+        canonical = canonicalize(random_value(rng))
+        decoded = json.loads(json.dumps(canonical))
+        assert decoded == canonical, f"seed={seed} step={step}"
+
+
+def test_set_insertion_order_is_erased():
+    forward = {("a", 1), ("b", 2), ("c", 3)}
+    reverse = set(sorted(forward, reverse=True))
+    assert encode(forward) == encode(reverse)
+
+
+def test_distinct_container_types_never_alias():
+    assert encode([1, 2]) != encode((1, 2))
+    assert encode({1, 2}) != encode([1, 2])
+    assert encode({"a": 1}) != encode(["a", 1])
+
+
+def test_non_string_dict_keys_are_rejected():
+    with pytest.raises(ConfigurationError):
+        canonicalize({1: "x"})
+
+
+def test_unfingerprintable_values_are_rejected():
+    with pytest.raises(ConfigurationError):
+        canonicalize(object())

@@ -108,6 +108,20 @@ class TestDeprecatedWrappers:
             assert via_wrapper.cycles == direct.cycles
             assert via_wrapper.instructions == direct.instructions
 
+    def test_warning_points_at_the_caller(self, tiny_profile):
+        """stacklevel=2 attributes the warning to the *calling* line, not
+        to common.py or a helper frame -- what makes `python -W error`
+        output actionable during a migration."""
+        import warnings as _warnings
+
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            run_reference(tiny_profile, skylake(), CFG)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert deprecations[0].filename == __file__
+
     def test_pif_wrapper_forwards_params(self, tiny_profile):
         m = skylake()
         params = pif_ideal_params()

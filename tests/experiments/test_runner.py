@@ -87,6 +87,18 @@ class TestParser:
         assert args.inject_faults == ["fail:#3", "kill:#2"]
         assert args.maxtasksperchild == 8
 
+    def test_observability_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fig10", "--trace", str(tmp_path / "t.jsonl"),
+             "--metrics-out", str(tmp_path / "m.json")])
+        assert args.trace == tmp_path / "t.jsonl"
+        assert args.metrics_out == tmp_path / "m.json"
+
+    def test_observability_flag_defaults(self):
+        args = build_parser().parse_args(["fig10"])
+        assert args.trace is None
+        assert args.metrics_out is None
+
     def test_jobs_rejected_at_parse_time(self, capsys):
         """--jobs 0 is a usage error argparse itself reports (exit 2)."""
         with pytest.raises(SystemExit) as exc:
@@ -168,6 +180,53 @@ class TestMain:
         warm = json.loads(capsys.readouterr().out)[0]["engine"]
         assert warm["simulated"] == 0
         assert warm["cache_hits"] == cold["simulated"]
+
+    def test_trace_and_metrics_outputs(self, capsys, tmp_path):
+        """--trace and --metrics-out write schema-valid files whose
+        aggregates agree with the engine stats the JSON report carries."""
+        from repro.obs.summarize import read_trace, summarize
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        argv = ["fig06", "--fast", "--functions", "Auth-G",
+                "--cache-dir", str(tmp_path / "cache"), "--json",
+                "--trace", str(trace), "--metrics-out", str(metrics)]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        engine_stats = json.loads(captured.out)[0]["engine"]
+        assert f"trace written to {trace}" in captured.err
+        # read_trace schema-validates every line; summarize cross-checks
+        # the stream against its own sweep.end records.
+        summary = summarize(read_trace(trace))
+        assert summary.cache_hits == engine_stats["cache_hits"]
+        assert summary.cache_misses == engine_stats["simulated"]
+        assert summary.retries == engine_stats["retries"]
+        assert summary.jobs == engine_stats["cells"]
+        exported = json.loads(metrics.read_text(encoding="utf-8"))
+        assert exported["schema"] == 1
+        assert exported["counters"]["engine.jobs"] == engine_stats["cells"]
+        assert exported["counters"]["engine.misses"] == \
+            engine_stats["simulated"]
+        assert "engine.hit_rate" in exported["gauges"]
+        assert exported["histograms"]["engine.sweep_jobs"]["count"] >= 1
+
+    def test_footer_reports_events_without_trace_flag(self, capsys,
+                                                      tmp_path):
+        """The always-on in-memory collector feeds the footer even when
+        no --trace file was requested."""
+        argv = ["fig06", "--fast", "--functions", "Auth-G",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "obs: " in out and "cache.miss=" in out
+
+    def test_json_stdout_stays_pure_json_with_tracing(self, capsys,
+                                                      tmp_path):
+        argv = ["fig06", "--fast", "--functions", "Auth-G",
+                "--cache-dir", str(tmp_path / "cache"), "--json",
+                "--trace", str(tmp_path / "trace.jsonl")]
+        assert main(argv) == 0
+        json.loads(capsys.readouterr().out)  # footer must not pollute it
 
     def test_failing_experiment_exits_3(self, capsys, boom_experiment):
         assert main(["boom"]) == 3

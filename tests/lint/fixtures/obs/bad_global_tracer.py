@@ -1,0 +1,7 @@
+"""REPRO008 positive: module-level observability singletons."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+TRACER = Tracer()
+METRICS: MetricsRegistry = MetricsRegistry()

@@ -1,0 +1,8 @@
+"""REPRO007 positive inside obs/: broad capture would hide sink failures."""
+
+
+def swallow(sink, event):
+    try:
+        sink.write(event)
+    except Exception:
+        return None

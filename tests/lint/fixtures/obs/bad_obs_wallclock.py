@@ -1,0 +1,7 @@
+"""REPRO006 positive inside obs/: host time never timestamps a trace."""
+
+import time
+
+
+def emit_now():
+    return time.time()

@@ -1,0 +1,14 @@
+"""REPRO008 negative: tracers built per context, never at import time."""
+
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import Tracer
+
+
+def make_tracer(clock=None):
+    return Tracer(clock=clock)
+
+
+@dataclass
+class Context:
+    tracer: Tracer = field(default_factory=Tracer)

@@ -38,7 +38,7 @@ class TestCliBehaviour:
         captured = capsys.readouterr().out
         assert exit_code == 1
         for rule_id in ("REPRO001", "REPRO002", "REPRO003", "REPRO004",
-                        "REPRO005", "REPRO006", "REPRO007"):
+                        "REPRO005", "REPRO006", "REPRO007", "REPRO008"):
             assert rule_id in captured
 
     def test_list_rules(self, capsys):
@@ -46,7 +46,7 @@ class TestCliBehaviour:
         captured = capsys.readouterr().out
         assert exit_code == 0
         for rule_id in ("REPRO001", "REPRO002", "REPRO003", "REPRO004",
-                        "REPRO005", "REPRO006", "REPRO007"):
+                        "REPRO005", "REPRO006", "REPRO007", "REPRO008"):
             assert rule_id in captured
 
     def test_missing_path_is_an_error_not_clean(self, tmp_path, capsys):

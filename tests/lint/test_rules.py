@@ -71,6 +71,13 @@ class TestScopeKey:
         assert rule.applies_to("engine/sweep.py")
         assert not rule.applies_to("experiments/runner.py")
 
+    def test_wallclock_covers_obs(self):
+        # Trace timestamps come only from injected clocks, so the
+        # observability layer is under the same rule as the simulator.
+        rule = get_rule("REPRO006")
+        assert rule.applies_to("obs/tracer.py")
+        assert rule.applies_to("obs/clock.py")
+
 
 class TestREPRO001:
     def test_positive(self, fixture_violations):
@@ -162,13 +169,42 @@ class TestREPRO007:
     def test_sanctioned_capture_point_is_exempt(self, fixture_violations):
         assert not _for_file(fixture_violations, "resilience.py")
 
-    def test_scoped_to_engine_only(self):
+    def test_scoped_to_engine_and_obs_only(self):
         rule = get_rule("REPRO007")
         assert rule.applies_to("engine/executors.py")
         assert rule.applies_to("engine/sweep.py")
+        assert rule.applies_to("obs/tracer.py")
         assert not rule.applies_to("engine/resilience.py")
         assert not rule.applies_to("experiments/runner.py")
         assert not rule.applies_to("core/keepalive.py")
+
+    def test_broad_except_in_obs_fires(self, fixture_violations):
+        found = _for_file(fixture_violations, "bad_obs_except.py")
+        assert {v.rule_id for v in found} == {"REPRO007"}
+        assert len(found) == 1
+
+    def test_wallclock_in_obs_fires(self, fixture_violations):
+        found = _for_file(fixture_violations, "bad_obs_wallclock.py")
+        assert {v.rule_id for v in found} == {"REPRO006"}
+        assert len(found) == 1
+
+
+class TestREPRO008:
+    def test_module_level_singletons_fire(self, fixture_violations):
+        found = _for_file(fixture_violations, "bad_global_tracer.py")
+        assert {v.rule_id for v in found} == {"REPRO008"}
+        assert len(found) == 2  # Tracer() and MetricsRegistry()
+        messages = " ".join(v.message for v in found)
+        assert "singleton" in messages
+
+    def test_injected_construction_is_silent(self, fixture_violations):
+        assert not _for_file(fixture_violations, "good_injected_tracer.py")
+
+    def test_fires_everywhere_not_just_obs(self):
+        rule = get_rule("REPRO008")
+        assert rule.applies_to("engine/sweep.py")
+        assert rule.applies_to("obs/tracer.py")
+        assert rule.applies_to("experiments/runner.py")
 
 
 class TestSuppression:

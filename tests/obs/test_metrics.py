@@ -1,0 +1,143 @@
+"""Tests for counters, gauges, histograms and the metrics registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SCHEMA_VERSION,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        counter.inc(0)
+        assert counter.value == 5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("g")
+        gauge.set(1.5)
+        gauge.set(0.25)
+        assert gauge.value == 0.25
+
+
+class TestHistogram:
+    def test_bounds_are_inclusive_upper_edges(self):
+        hist = Histogram("h", bounds=(1.0, 10.0))
+        hist.observe(1.0)    # first bucket (<= 1.0)
+        hist.observe(1.001)  # second bucket
+        hist.observe(10.0)   # second bucket (<= 10.0)
+        hist.observe(10.5)   # overflow
+        assert hist.to_json()["buckets"] == [1, 2, 1]
+
+    def test_tracks_count_sum_min_max_mean(self):
+        hist = Histogram("h", bounds=(1.0,))
+        for value in (0.5, 2.0, 3.5):
+            hist.observe(value)
+        record = hist.to_json()
+        assert hist.count == 3
+        assert record["sum"] == pytest.approx(6.0)
+        assert record["min"] == 0.5
+        assert record["max"] == 3.5
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_empty_histogram(self):
+        hist = Histogram("h", bounds=(1.0,))
+        assert hist.count == 0
+        assert hist.mean == 0.0
+
+    @pytest.mark.parametrize("bounds", [(), (2.0, 1.0), (1.0, 1.0)])
+    def test_rejects_bad_bounds(self, bounds):
+        with pytest.raises(ConfigurationError, match="bounds"):
+            Histogram("h", bounds=bounds)
+
+    def test_default_bounds_are_valid(self):
+        Histogram("h", bounds=DEFAULT_BOUNDS)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_type_conflicts_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError, match="Counter"):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError, match="Counter"):
+            registry.histogram("x")
+
+    def test_rejects_empty_names(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("")
+
+    def test_len_contains_value(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("rate").set(0.5)
+        assert len(registry) == 2
+        assert "hits" in registry and "nope" not in registry
+        assert registry.value("hits") == 3
+        assert registry.value("rate") == 0.5
+
+    def test_to_json_groups_and_sorts(self):
+        registry = MetricsRegistry()
+        registry.gauge("z.gauge").set(1.0)
+        registry.counter("b.counter").inc(2)
+        registry.counter("a.counter").inc(1)
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        record = registry.to_json()
+        assert record["schema"] == SCHEMA_VERSION
+        assert list(record["counters"]) == ["a.counter", "b.counter"]
+        assert record["gauges"] == {"z.gauge": 1.0}
+        assert record["histograms"]["h"]["count"] == 1
+
+    def test_export_is_byte_identical_for_identical_values(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("hits").inc(7)
+            registry.gauge("rate").set(0.875)
+            registry.histogram("lat", bounds=(1.0, 10.0)).observe(2.0)
+            return registry.to_json_text()
+
+        assert build() == build()
+
+    def test_to_json_text_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        text = registry.to_json_text()
+        assert text == json.dumps(json.loads(text), sort_keys=True,
+                                  indent=2) + "\n"
+
+    def test_write_json_creates_parents(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        path = registry.write_json(tmp_path / "deep" / "metrics.json")
+        assert json.loads(path.read_text())["counters"] == {"hits": 1}
+
+    def test_describe(self):
+        registry = MetricsRegistry()
+        assert registry.describe() == "metrics: empty"
+        registry.counter("hits").inc(2)
+        registry.histogram("lat", bounds=(1.0,)).observe(0.5)
+        assert registry.describe() == "metrics: hits=2, lat[n=1]"

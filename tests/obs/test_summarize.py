@@ -1,0 +1,182 @@
+"""Tests for trace aggregation and the ``python -m repro.obs`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TraceSchemaError
+from repro.obs import records
+from repro.obs.__main__ import main as obs_main
+from repro.obs.clock import TickClock
+from repro.obs.records import TraceEvent
+from repro.obs.summarize import (
+    read_trace,
+    render_summary,
+    summarize,
+    summary_to_json,
+)
+from repro.obs.tracer import JsonlSink, Tracer
+
+
+def consistent_stream():
+    """A hand-built trace whose sweep.end deltas match its event counts."""
+    tracer = Tracer(clock=TickClock())
+    tracer.emit(records.SWEEP_BEGIN, jobs=3, policy="retry")
+    tracer.emit(records.CACHE_HIT, key="aa")
+    tracer.emit(records.CACHE_MISS, key="bb")
+    tracer.emit(records.CACHE_MISS, key="cc")
+    tracer.emit(records.DISPATCH, job="slow", index=1, attempt=0)
+    tracer.emit(records.DISPATCH, job="fast", index=2, attempt=0)
+    tracer.emit(records.HARVEST, job="fast", index=2, attempt=0, ok=True)
+    tracer.emit(records.RETRY, job="slow", index=1, attempt=0, delay_s=0.5,
+                error="InjectedTransientError")
+    tracer.emit(records.DISPATCH, job="slow", index=1, attempt=1)
+    tracer.emit(records.HARVEST, job="slow", index=1, attempt=1, ok=True)
+    tracer.emit(records.CACHE_STORE, key="bb")
+    tracer.emit(records.CACHE_STORE, key="cc")
+    tracer.emit(records.SWEEP_END, jobs=3, hits=1, misses=2, stores=2,
+                failures=0, retries=1)
+    return tracer.events
+
+
+class TestSummarize:
+    def test_counts_every_kind(self):
+        summary = summarize(consistent_stream())
+        assert summary.events == 13
+        assert summary.sweeps == 1
+        assert summary.jobs == 3
+        assert summary.cache_hits == 1
+        assert summary.cache_misses == 2
+        assert summary.cache_stores == 2
+        assert summary.dispatches == 3
+        assert summary.harvests == 2
+        assert summary.retries == 1
+        assert summary.failures == 0
+        assert summary.cache_lookups == 3
+        assert summary.hit_rate == pytest.approx(1 / 3)
+
+    def test_per_job_wall_time_from_clock(self):
+        summary = summarize(consistent_stream())
+        slow = summary.timings["slow"]
+        fast = summary.timings["fast"]
+        # TickClock stamps seq order: slow spans dispatch@4 .. harvest@9.
+        assert slow.wall_time == pytest.approx(9.0 - 4.0)
+        assert slow.dispatches == 2 and slow.harvests == 1
+        assert fast.wall_time == pytest.approx(6.0 - 5.0)
+
+    def test_slowest_orders_by_wall_time_then_job(self):
+        summary = summarize(consistent_stream())
+        assert [t.job for t in summary.slowest(5)] == ["slow", "fast"]
+        assert [t.job for t in summary.slowest(1)] == ["slow"]
+
+    def test_no_clock_means_no_wall_times(self):
+        events = [TraceEvent.make(0, records.DISPATCH, job="x", index=0,
+                                  attempt=0),
+                  TraceEvent.make(1, records.HARVEST, job="x", index=0,
+                                  attempt=0, ok=True)]
+        summary = summarize(events)
+        assert summary.timings["x"].wall_time is None
+        assert summary.slowest() == []
+
+    @pytest.mark.parametrize("field,delta", [("hits", 1), ("misses", -1),
+                                             ("retries", 1)])
+    def test_cross_check_rejects_inconsistent_traces(self, field, delta):
+        events = list(consistent_stream())
+        end = events[-1].fields_dict()
+        end[field] += delta
+        events[-1] = TraceEvent.make(events[-1].seq, records.SWEEP_END,
+                                     t=events[-1].t, **end)
+        with pytest.raises(TraceSchemaError, match="inconsistent"):
+            summarize(events)
+
+    def test_cross_check_skipped_without_sweep_end(self):
+        # A trace cut before sweep.end (e.g. a crashed run) still
+        # summarizes -- there is no reported total to disagree with.
+        summary = summarize(list(consistent_stream())[:-1])
+        assert summary.cache_hits == 1
+
+    def test_summary_to_json_round_trips(self):
+        record = summary_to_json(summarize(consistent_stream()), slowest=2)
+        assert record == json.loads(json.dumps(record))
+        assert record["cache"]["hits"] == 1
+        assert [s["job"] for s in record["slowest"]] == ["slow", "fast"]
+
+    def test_render_summary_mentions_the_essentials(self):
+        text = render_summary(summarize(consistent_stream()))
+        assert "cache hit rate    33.3%" in text
+        assert "retries           1" in text
+        assert "slowest cells:" in text and "slow" in text
+
+    def test_render_summary_empty_trace(self):
+        assert "cache hit rate    n/a" in render_summary(summarize([]))
+
+
+class TestReadTrace:
+    def write(self, tmp_path, lines):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    def test_reads_a_tracer_written_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sinks=(JsonlSink(path),))
+        tracer.emit(records.SWEEP_BEGIN, jobs=1, policy="raise")
+        tracer.emit(records.SWEEP_END, jobs=1, hits=0, misses=0, stores=0,
+                    failures=0, retries=0)
+        tracer.close()
+        events = read_trace(path)
+        assert [e.kind for e in events] == ["sweep.begin", "sweep.end"]
+        assert events == list(tracer.events)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        line = TraceEvent.make(0, records.CACHE_HIT, key="k").to_jsonl()
+        path = self.write(tmp_path, [line, "", line.replace('"seq":0',
+                                                           '"seq":1')])
+        assert len(read_trace(path)) == 2
+
+    def test_invalid_json_reports_line_number(self, tmp_path):
+        good = TraceEvent.make(0, records.CACHE_HIT, key="k").to_jsonl()
+        path = self.write(tmp_path, [good, "{not json"])
+        with pytest.raises(TraceSchemaError, match=r"trace\.jsonl:2:"):
+            read_trace(path)
+
+    def test_schema_violation_reports_line_number(self, tmp_path):
+        path = self.write(tmp_path, ['{"schema":1,"seq":0,"kind":"nope"}'])
+        with pytest.raises(TraceSchemaError, match=r"trace\.jsonl:1:"):
+            read_trace(path)
+
+
+class TestCli:
+    def write_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(clock=TickClock(), sinks=(JsonlSink(path),))
+        for event in consistent_stream():
+            tracer.emit(event.kind, **event.fields_dict())
+        tracer.close()
+        return path
+
+    def test_summarize_text_exits_zero(self, tmp_path, capsys):
+        assert obs_main(["summarize", str(self.write_trace(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "events            13" in out
+        assert "cache hit rate    33.3%" in out
+
+    def test_summarize_json_exits_zero(self, tmp_path, capsys):
+        path = self.write_trace(tmp_path)
+        assert obs_main(["summarize", str(path), "--json",
+                         "--slowest", "1"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["cache"]["hits"] == 1
+        assert len(record["slowest"]) == 1
+
+    def test_schema_error_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema":1,"seq":0,"kind":"nope"}\n')
+        assert obs_main(["summarize", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert obs_main(["summarize", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
