@@ -8,14 +8,34 @@
 # classes of nondeterminism before any simulation runs), then the test
 # suite, whose golden-figure and differential batteries byte-compare
 # simulator output against the committed snapshots under tests/golden/.
+#
+# The lint step runs the full analyzer -- per-file rules over src/ and
+# the auxiliary targets (tests/, benchmarks/, examples/), plus the
+# whole-program passes (taint flow, REPRO009/REPRO010) -- emitting the
+# canonical JSON report.  Exit status 1 means a finding not grandfathered
+# in lint-baseline.json; run `python -m repro.lint` locally for the
+# human-readable version, or `python -m repro.lint --changed-only` for a
+# quick diff-scoped pass while iterating.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
 
-echo "== repro.lint (determinism rules, src/) =="
-python -m repro.lint src/
+echo "== repro.lint (whole-program analyzer, --format json) =="
+python -m repro.lint --format json > /tmp/repro-lint-report.json || {
+    status=$?
+    cat /tmp/repro-lint-report.json
+    echo "repro-lint: non-baselined findings (full report above)" >&2
+    exit "$status"
+}
+python - <<'EOF'
+import json
+doc = json.load(open("/tmp/repro-lint-report.json"))
+s = doc["summary"]
+print(f"repro-lint: clean ({doc['files']} files, "
+      f"{s['grandfathered']} grandfathered)")
+EOF
 
 if [[ "${1:-}" == "--fast" ]]; then
     echo "== pytest (fast: unit suites only) =="

@@ -46,6 +46,8 @@ from repro.engine.job import (
     canonicalize,
     code_version,
     fingerprint,
+    invalidate_fingerprint_caches,
+    provider_closure,
     provider_version,
 )
 from repro.engine.resilience import (
@@ -107,6 +109,8 @@ __all__ = [
     "execute_task",
     "fingerprint",
     "get_executor",
+    "invalidate_fingerprint_caches",
+    "provider_closure",
     "provider_version",
     "register_error_class",
     "run_with_policy",

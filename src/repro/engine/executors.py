@@ -42,6 +42,21 @@ DEFAULT_MAX_POOL_FAILURES = 2
 #: Seconds between worker-liveness checks while draining a pool.
 _POLL_INTERVAL_S = 0.05
 
+#: Classes whose instances cross the worker pickle boundary, as
+#: ``"module:qualname"``.  ``Task`` (and the ``Job`` it carries, plus any
+#: attached ``FaultPlan``) is pickled *to* workers by ``apply_async``;
+#: ``JobOutcome``/``JobError`` are pickled *back*.  Lint rule REPRO010
+#: audits exactly this list for unpicklable members, so a class that
+#: starts crossing the boundary must be added here to stay checked.
+PICKLE_BOUNDARY = (
+    "repro.engine.job:Job",
+    "repro.engine.resilience:Task",
+    "repro.engine.resilience:JobOutcome",
+    "repro.engine.resilience:JobError",
+    "repro.faults:FaultSpec",
+    "repro.faults:FaultPlan",
+)
+
 OutcomeCallback = Optional[Callable[[Task, JobOutcome], None]]
 
 

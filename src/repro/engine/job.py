@@ -67,17 +67,100 @@ def code_version() -> str:
 
 
 @lru_cache(maxsize=None)
+def _package_graph(root: str, package: str) -> Any:
+    """Memoized :class:`repro.lint.graph.ProjectGraph` for one package.
+
+    Imported lazily: the analyzer only depends on ``repro.errors``, so no
+    cycle forms, but the engine stays importable without paying a parse
+    of the whole tree until a provider fingerprint is first requested.
+    """
+    from repro.lint.graph import ProjectGraph
+
+    return ProjectGraph.from_package(Path(root), package)
+
+
+def _package_root(top: str) -> "Path | None":
+    """Directory of top-level package ``top``, or None for a plain
+    module.  Uses ``find_spec`` on the *top-level* name only, so nothing
+    is executed."""
+    import importlib.util
+
+    try:
+        spec = importlib.util.find_spec(top)
+    except (ImportError, ValueError):
+        return None
+    if spec is None:
+        return None
+    locations = spec.submodule_search_locations
+    if locations:
+        for location in locations:
+            root = Path(location)
+            if root.is_dir():
+                return root
+    return None
+
+
+@lru_cache(maxsize=None)
+def provider_closure(provider: str) -> Tuple[str, ...]:
+    """Sorted module names whose sources :func:`provider_version` digests.
+
+    The closure is the provider's *whole-program static import closure*
+    inside its own top-level package, computed by the AST analyzer in
+    :mod:`repro.lint.graph` (cycle-safe, sorted, memoized) -- so a helper
+    module merely *imported* by a config builder participates in the
+    digest, and editing it invalidates exactly the providers that depend
+    on it.  A provider that is a plain single-file module (no enclosing
+    package) digests just its own source.  Lint rule REPRO009
+    cross-validates this closure against an independently built graph.
+    """
+    top = provider.split(".")[0]
+    root = _package_root(top)
+    if root is None:
+        _provider_source(provider)  # raises a typed error if unlocatable
+        return (provider,)
+    graph = _package_graph(str(root), top)
+    if provider not in graph.modules:
+        _provider_source(provider)
+        return (provider,)
+    return graph.closure(provider)
+
+
+@lru_cache(maxsize=None)
 def provider_version(provider: str) -> str:
-    """Digest of the source file behind a provider module.
+    """Digest of every source in a provider module's import closure.
 
     Config builders registered outside the :func:`code_version` subtrees
     (e.g. ``contended`` in ``fig01_iat``, ``footprints`` in fig06,
     ``miss_stream`` in fig08) contain real measurement logic, so every
-    job also fingerprints the module providing its config: editing a
-    builder invalidates exactly that provider's memoized cells.
+    job fingerprints the *closure* of the module providing its config:
+    editing the builder -- or any helper module it imports, directly or
+    transitively -- invalidates exactly that provider's memoized cells,
+    while cells of unrelated providers stay warm.
     """
-    return hashlib.sha256(
-        _provider_source(provider).read_bytes()).hexdigest()[:16]
+    digest = hashlib.sha256()
+    closure = provider_closure(provider)
+    top = provider.split(".")[0]
+    root = _package_root(top)
+    graph = _package_graph(str(root), top) if root is not None else None
+    for module in closure:
+        if graph is not None and module in graph.modules:
+            path = graph.modules[module].path
+        else:
+            path = _provider_source(module)
+        digest.update(module.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def invalidate_fingerprint_caches() -> None:
+    """Drop every memoized source digest (tests that edit sources on
+    disk call this between edits; production never needs it)."""
+    code_version.cache_clear()
+    provider_version.cache_clear()
+    provider_closure.cache_clear()
+    _package_graph.cache_clear()
 
 
 def _provider_source(module: str) -> Path:
@@ -85,30 +168,41 @@ def _provider_source(module: str) -> Path:
 
     ``repro.*`` modules resolve against the installed package root; other
     modules fall back to :func:`importlib.util.find_spec`.  A provider
-    whose source cannot be found is an error -- its cells must never be
-    cached without code fingerprinting.
+    whose source cannot be found raises a typed
+    :class:`~repro.errors.ConfigurationError` naming the module and the
+    reason -- its cells must never be cached without code fingerprinting.
     """
     import repro
 
+    reason = "module source not found"
     parts = module.split(".")
     if parts[0] == "repro":
         base = Path(repro.__file__).resolve().parent.joinpath(*parts[1:])
         for candidate in (base.with_suffix(".py"), base / "__init__.py"):
             if candidate.is_file():
                 return candidate
+        reason = (f"no such file under the installed package root "
+                  f"({base.with_suffix('.py').name} or __init__.py)")
     else:
         import importlib.util
 
         try:
             spec = importlib.util.find_spec(module)
-        except (ImportError, ValueError):
+        except (ImportError, ValueError) as exc:
             spec = None
-        if spec is not None and spec.origin:
-            origin = Path(spec.origin)
-            if origin.is_file():
-                return origin
+            reason = f"find_spec failed: {exc}"
+        if spec is not None:
+            if spec.origin:
+                origin = Path(spec.origin)
+                if origin.is_file():
+                    return origin
+                reason = (f"spec origin {spec.origin!r} is not a "
+                          f"readable source file")
+            else:
+                reason = ("module has no source origin (namespace "
+                          "package or built-in)")
     raise ConfigurationError(
-        f"cannot locate source for provider module {module!r}; "
+        f"cannot locate source for provider module {module!r} ({reason}); "
         f"its jobs cannot be fingerprinted"
     )
 

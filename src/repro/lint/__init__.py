@@ -1,13 +1,21 @@
 """Determinism & invariant analysis for the reproduction.
 
-Two halves keep the simulator trustworthy:
+Three layers keep the simulator trustworthy:
 
-* **static rules** (:mod:`repro.lint.rules`, run by
+* **per-file static rules** (:mod:`repro.lint.rules`, run by
   :mod:`repro.lint.engine` and ``python -m repro.lint``): AST checks
-  REPRO001-REPRO007 for unseeded randomness, float equality, magic
+  REPRO001-REPRO008 for unseeded randomness, float equality, magic
   size/latency literals, mutable defaults, swallowed exceptions,
-  wall-clock reads in simulation paths, and broad exception handlers
-  in engine code outside the sanctioned resilience capture point;
+  wall-clock reads in simulation paths, broad exception handlers in
+  engine code outside the sanctioned resilience capture point, and
+  module-level observability singletons;
+* **whole-program analysis** (:mod:`repro.lint.graph` builds an
+  AST-only import + call graph; :mod:`repro.lint.flow` runs an
+  interprocedural nondeterminism taint analysis over it;
+  :mod:`repro.lint.soundness` audits cache-key soundness [REPRO009,
+  every module in a provider's import closure must be digested] and
+  worker safety [REPRO010, picklable pool-boundary classes, no
+  worker-reachable module-state mutation]);
 * **runtime contracts** (:mod:`repro.lint.contracts`): cheap invariant
   checks wired into the simulator's lifecycle points -- stats balance,
   Top-Down components sum to total cycles, metadata record counts match
@@ -15,11 +23,14 @@ Two halves keep the simulator trustworthy:
   sweep aborts mid-batch.
 
 Suppress a static finding inline with
-``# repro-lint: disable=REPRO003`` (or ``disable=all``), or file-wide
-with ``# repro-lint: disable-file=REPRO003``.
+``# repro-lint: disable=REPRO003 -- reason`` (or ``disable=all``), or
+file-wide with ``# repro-lint: disable-file=REPRO003``.  Whole-tree
+debt is grandfathered through :mod:`repro.lint.baseline`; machine
+output (``--format json|sarif``) lives in :mod:`repro.lint.formats`.
 """
 
 from repro.lint import contracts
+from repro.lint.baseline import Baseline
 from repro.lint.engine import (
     TextEdit,
     Violation,
@@ -29,10 +40,13 @@ from repro.lint.engine import (
     lint_source,
     scope_key,
 )
+from repro.lint.graph import ProjectGraph
 from repro.lint.rules import ALL_RULES, Rule, get_rule
 
 __all__ = [
     "ALL_RULES",
+    "Baseline",
+    "ProjectGraph",
     "Rule",
     "TextEdit",
     "Violation",

@@ -1,0 +1,124 @@
+"""Grandfathered-finding baselines for incremental adoption of new rules.
+
+A baseline file records the findings a repository has consciously decided
+to live with (typically when a new rule lands against an existing tree).
+The gate then fails only on findings *not* in the baseline, so new debt
+cannot sneak in while old debt is paid down deliberately.
+
+Fingerprints are **line-independent**: a finding is identified by its
+rule id, its repo-relative path, and its message.  Inserting a line above
+a grandfathered finding does not un-baseline it; changing the finding's
+substance (message) or moving it to another file does.  Identical
+findings in one file are counted -- a baseline entry with ``count: 2``
+absorbs at most two occurrences, so adding a third identical violation
+still fails.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.engine import Violation
+
+#: Default committed baseline filename, resolved against the CWD.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def _normalize_path(path: str) -> str:
+    """Repo-relative POSIX path when possible, so fingerprints agree
+    between absolute-path and relative-path invocations."""
+    p = Path(path)
+    if p.is_absolute():
+        try:
+            p = p.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable line-independent identity of one finding."""
+    payload = "|".join([violation.rule_id,
+                        _normalize_path(violation.path),
+                        violation.message])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class Baseline:
+    """An in-memory multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, counts: Dict[str, int] = None,
+                 entries: Dict[str, Dict[str, str]] = None) -> None:
+        self.counts: Dict[str, int] = dict(counts or {})
+        #: Human-readable context per fingerprint (rule/path/message),
+        #: kept so the committed file reviews meaningfully.
+        self.entries: Dict[str, Dict[str, str]] = dict(entries or {})
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.is_file():
+            return cls.empty()
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        counts: Dict[str, int] = {}
+        entries: Dict[str, Dict[str, str]] = {}
+        for fp, entry in doc.get("findings", {}).items():
+            counts[fp] = int(entry.get("count", 1))
+            entries[fp] = {k: entry[k] for k in ("rule", "path", "message")
+                           if k in entry}
+        return cls(counts, entries)
+
+    @classmethod
+    def from_violations(cls, violations: Sequence[Violation]) -> "Baseline":
+        baseline = cls.empty()
+        for violation in violations:
+            fp = fingerprint(violation)
+            baseline.counts[fp] = baseline.counts.get(fp, 0) + 1
+            baseline.entries.setdefault(fp, {
+                "rule": violation.rule_id,
+                "path": _normalize_path(violation.path),
+                "message": violation.message,
+            })
+        return baseline
+
+    def write(self, path: Path) -> None:
+        findings = {}
+        for fp in sorted(self.counts):
+            entry = dict(self.entries.get(fp, {}))
+            entry["count"] = self.counts[fp]
+            findings[fp] = entry
+        doc = {"version": _FORMAT_VERSION, "findings": findings}
+        Path(path).write_text(json.dumps(doc, sort_keys=True, indent=2)
+                              + "\n", encoding="utf-8")
+
+    def partition(self, violations: Sequence[Violation]
+                  ) -> Tuple[List[Violation], List[Violation]]:
+        """Split findings into ``(fresh, grandfathered)``.
+
+        Each baseline entry absorbs at most its recorded count, in the
+        deterministic order violations arrive (path, line, rule).
+        """
+        budget = dict(self.counts)
+        fresh: List[Violation] = []
+        grandfathered: List[Violation] = []
+        for violation in violations:
+            fp = fingerprint(violation)
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                grandfathered.append(violation)
+            else:
+                fresh.append(violation)
+        return fresh, grandfathered
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

@@ -1,0 +1,273 @@
+"""Interprocedural nondeterminism taint analysis over the call graph.
+
+The per-file rules REPRO001/REPRO006 flag a nondeterministic call *in the
+file where it appears*, and only inside their scoped directories.  This
+module upgrades them to whole-program reachability: starting from the
+simulation entry points (the worker's :func:`~repro.engine.executors
+.execute_job`, the config dispatcher ``run_config``, and every builder
+registered with ``@register_config``), it walks the
+:class:`~repro.lint.graph.ProjectGraph` call graph and reports any path
+that reaches a *taint source*:
+
+* wall-clock reads (``time.time`` and friends, ``datetime.now``,
+  ``uuid.uuid4``, ``os.urandom``, ...),
+* unseeded module-level RNG (``random.random``, ``numpy.random.rand``),
+* filesystem-order dependence (``os.listdir`` not wrapped in
+  ``sorted(...)``),
+* interpreter-identity leaks (``id()``, ``hash()`` of strings -- both
+  vary per process under hash randomization), and
+* iteration over ``set``/``frozenset`` values (element order follows the
+  per-process hash seed).
+
+A path that crosses a *sanctioned boundary* is silent: functions defined
+in an injected-clock module (``*.obs.clock`` by default) exist precisely
+to own the host-time read, so taint never propagates out of them.
+Findings are reported under the ids of the per-file rules they upgrade
+(REPRO001 for RNG, REPRO006 for everything else) and deduplicated against
+them: a source the per-file pass already flags in its own file is not
+re-reported here.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import Violation, scope_key
+from repro.lint.graph import FunctionInfo, ProjectGraph, dotted_name
+from repro.lint.rules import UnseededRandomness, WallClock
+
+#: Call-graph entry points of the simulation hot path, as
+#: ``module:qualname`` (module matched exactly or as a dotted suffix).
+DEFAULT_ENTRY_POINTS: Tuple[str, ...] = (
+    "engine.executors:execute_job",
+    "experiments.common:run_config",
+)
+
+#: Functions decorated with any of these (matched on the decorator's last
+#: dotted component) are additional entry points: the config registry
+#: dispatches to them dynamically, invisibly to static call resolution.
+ENTRY_DECORATORS: Tuple[str, ...] = ("register_config",)
+
+#: Module-name suffixes whose functions are sanctioned nondeterminism
+#: boundaries: taint inside them never propagates to their callers.
+SANCTIONED_MODULE_SUFFIXES: Tuple[str, ...] = ("obs.clock",)
+
+_CLOCK_CALLS = WallClock._CLOCK_CALLS
+_LISTING_CALLS = WallClock._LISTING_CALLS
+_SEEDED_FACTORIES = UnseededRandomness._SEEDED_FACTORIES
+
+#: Taint kind -> the per-file rule id the finding is reported under.
+KIND_RULE_IDS: Dict[str, str] = {
+    "wall-clock": "REPRO006",
+    "fs-order": "REPRO006",
+    "unseeded-rng": "REPRO001",
+    "object-identity": "REPRO006",
+    "str-hash": "REPRO006",
+    "set-iteration": "REPRO006",
+}
+
+
+@dataclass(frozen=True)
+class TaintSource:
+    """One nondeterministic operation found in one function body."""
+
+    kind: str
+    call: str
+    function: str  # "module:qualname"
+    line: int
+
+
+@dataclass(frozen=True)
+class TaintPath:
+    """A witness call chain from an entry point to a taint source."""
+
+    entry: str
+    chain: Tuple[str, ...]  # function ids, entry first, source fn last
+    source: TaintSource
+
+    def render(self) -> str:
+        hops = " -> ".join(fid.split(":", 1)[1] for fid in self.chain)
+        return f"{hops} -> {self.source.call}()"
+
+
+def classify_call(dotted: str, sanitized: bool) -> Optional[str]:
+    """Taint kind of one canonical dotted call, or None if benign."""
+    if dotted in _CLOCK_CALLS:
+        return "wall-clock"
+    if dotted in _LISTING_CALLS:
+        return None if sanitized else "fs-order"
+    parts = dotted.split(".")
+    if parts[0] == "random" and len(parts) == 2:
+        return None if parts[1] in _SEEDED_FACTORIES else "unseeded-rng"
+    if parts[0] == "numpy" and len(parts) == 3 and parts[1] == "random":
+        return None if parts[2] in _SEEDED_FACTORIES else "unseeded-rng"
+    if dotted == "id":
+        return "object-identity"
+    if dotted == "hash":
+        return "str-hash"
+    return None
+
+
+def direct_sources(info: FunctionInfo) -> List[TaintSource]:
+    """Taint sources appearing directly in one function's body."""
+    sources: List[TaintSource] = []
+    for dotted, lineno, sanitized in info.raw_calls:
+        kind = classify_call(dotted, sanitized)
+        if kind is not None:
+            sources.append(TaintSource(kind=kind, call=dotted,
+                                       function=info.id, line=lineno))
+    sources.extend(_set_iteration_sources(info))
+    sources.sort(key=lambda s: (s.line, s.kind, s.call))
+    return sources
+
+
+def _set_iteration_sources(info: FunctionInfo) -> List[TaintSource]:
+    """``for x in s`` where ``s`` is a set built in the same function."""
+    set_names: Set[str] = set()
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    set_names.add(target.id)
+    sources: List[TaintSource] = []
+    for node in ast.walk(info.node):
+        if not isinstance(node, (ast.For, ast.AsyncFor)):
+            continue
+        iter_expr = node.iter
+        direct = _is_set_expr(iter_expr)
+        named = (isinstance(iter_expr, ast.Name)
+                 and iter_expr.id in set_names)
+        if direct or named:
+            what = (iter_expr.id if named else "a set expression")
+            sources.append(TaintSource(
+                kind="set-iteration", call=f"iter({what})",
+                function=info.id, line=node.lineno))
+    return sources
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+def resolve_entries(graph: ProjectGraph,
+                    entries: Sequence[str] = DEFAULT_ENTRY_POINTS,
+                    entry_decorators: Sequence[str] = ENTRY_DECORATORS
+                    ) -> Tuple[str, ...]:
+    """Resolve entry specs + decorator-marked builders to function ids."""
+    table = graph.functions()
+    resolved: Set[str] = set()
+    for spec in entries:
+        mod, _, qual = spec.partition(":")
+        for info in table.values():
+            if info.qualname != qual:
+                continue
+            if info.module == mod or info.module.endswith("." + mod):
+                resolved.add(info.id)
+    for info in table.values():
+        for dec in info.decorators:
+            if dec.rsplit(".", 1)[-1] in entry_decorators:
+                resolved.add(info.id)
+    return tuple(sorted(resolved))
+
+
+def _is_sanctioned(module: str,
+                   sanctioned_suffixes: Sequence[str]) -> bool:
+    return any(module == suffix or module.endswith("." + suffix)
+               for suffix in sanctioned_suffixes)
+
+
+def trace_taint(graph: ProjectGraph,
+                entries: Optional[Sequence[str]] = None,
+                sanctioned: Sequence[str] = SANCTIONED_MODULE_SUFFIXES
+                ) -> List[TaintPath]:
+    """Shortest witness paths from entry points to reachable sources.
+
+    Breadth-first over the call graph, never entering sanctioned-boundary
+    modules; each (function, source) pair is reported once, with the
+    shortest entry chain that reaches it.  Output order is deterministic:
+    sorted by source location.
+    """
+    table = graph.functions()
+    entry_ids = (resolve_entries(graph) if entries is None
+                 else resolve_entries(graph, entries))
+    parents: Dict[str, Optional[str]] = {}
+    order: List[str] = []
+    frontier = [fid for fid in entry_ids
+                if not _is_sanctioned(table[fid].module, sanctioned)]
+    for fid in frontier:
+        parents.setdefault(fid, None)
+    while frontier:
+        next_frontier: List[str] = []
+        for fid in frontier:
+            order.append(fid)
+            for callee in sorted(table[fid].calls):
+                if callee in parents or callee not in table:
+                    continue
+                if _is_sanctioned(table[callee].module, sanctioned):
+                    continue
+                parents[callee] = fid
+                next_frontier.append(callee)
+        frontier = next_frontier
+    paths: List[TaintPath] = []
+    for fid in order:
+        info = table[fid]
+        for source in direct_sources(info):
+            chain: List[str] = []
+            cursor: Optional[str] = fid
+            while cursor is not None:
+                chain.append(cursor)
+                cursor = parents[cursor]
+            chain.reverse()
+            paths.append(TaintPath(entry=chain[0], chain=tuple(chain),
+                                   source=source))
+    paths.sort(key=lambda p: (graph.modules[p.source.function.split(":")[0]]
+                              .path.as_posix(), p.source.line, p.source.kind))
+    return paths
+
+
+def _per_file_rule_covers(source: TaintSource, module_path: Path) -> bool:
+    """Whether the per-file REPRO001/REPRO006 pass already flags this
+    source in its own file (no point reporting it twice)."""
+    scope = scope_key(module_path)
+    if source.kind == "unseeded-rng":
+        return UnseededRandomness().applies_to(scope)
+    if source.kind in ("wall-clock", "fs-order"):
+        return WallClock().applies_to(scope)
+    return False  # id()/hash()/set-iteration have no per-file rule
+
+
+def analyze(graph: ProjectGraph,
+            entries: Optional[Sequence[str]] = None,
+            sanctioned: Sequence[str] = SANCTIONED_MODULE_SUFFIXES,
+            dedup_per_file: bool = True) -> List[Violation]:
+    """Run the taint analysis and render findings as lint violations."""
+    violations: List[Violation] = []
+    seen: Set[Tuple[str, str, int]] = set()
+    for path in trace_taint(graph, entries=entries, sanctioned=sanctioned):
+        source = path.source
+        module = graph.modules[source.function.split(":")[0]]
+        if dedup_per_file and _per_file_rule_covers(source, module.path):
+            continue
+        key = (source.function, source.call, source.line)
+        if key in seen:
+            continue
+        seen.add(key)
+        violations.append(Violation(
+            rule_id=KIND_RULE_IDS[source.kind],
+            severity="error",
+            path=str(module.path),
+            line=source.line,
+            col=0,
+            message=(f"whole-program: {source.kind} nondeterminism "
+                     f"reachable from sim entry point "
+                     f"{path.entry.split(':', 1)[1]!r}: {path.render()}"),
+        ))
+    return violations

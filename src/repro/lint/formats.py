@@ -1,0 +1,106 @@
+"""Machine-readable lint output: ``--format json`` and ``--format sarif``.
+
+Both serializations are canonical (sorted keys, fixed separators) so that
+identical findings always produce byte-identical reports -- CI diffs of
+lint output are then meaningful.  The SARIF document targets the 2.1.0
+schema subset GitHub code scanning ingests: one run, one driver, one
+result per violation with a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.lint.engine import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def violation_to_dict(violation: Violation,
+                      baselined: bool = False) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "rule": violation.rule_id,
+        "severity": violation.severity,
+        "path": violation.path,
+        "line": violation.line,
+        "col": violation.col + 1,
+        "message": violation.message,
+        "fixable": violation.fixable,
+    }
+    if baselined:
+        entry["baselined"] = True
+    return entry
+
+
+def render_json(violations: Sequence[Violation],
+                baselined: Sequence[Violation] = (),
+                files: int = 0, fixes_applied: int = 0) -> str:
+    """The ``--format json`` document (one canonical-JSON object)."""
+    errors = sum(1 for v in violations if v.severity == "error")
+    doc = {
+        "version": 1,
+        "files": files,
+        "fixes_applied": fixes_applied,
+        "violations": [violation_to_dict(v) for v in violations],
+        "baselined": [violation_to_dict(v, baselined=True)
+                      for v in baselined],
+        "summary": {
+            "total": len(violations),
+            "errors": errors,
+            "warnings": len(violations) - errors,
+            "grandfathered": len(baselined),
+        },
+    }
+    return json.dumps(doc, sort_keys=True, indent=2)
+
+
+def render_sarif(violations: Sequence[Violation],
+                 rule_descriptions: Optional[Dict[str, str]] = None) -> str:
+    """The ``--format sarif`` document (SARIF 2.1.0)."""
+    rule_descriptions = rule_descriptions or {}
+    rule_ids = sorted({v.rule_id for v in violations}
+                      | set(rule_descriptions))
+    rules: List[Dict[str, Any]] = []
+    for rule_id in rule_ids:
+        rule: Dict[str, Any] = {"id": rule_id}
+        description = rule_descriptions.get(rule_id)
+        if description:
+            rule["shortDescription"] = {"text": description}
+        rules.append(rule)
+    results = []
+    for violation in violations:
+        results.append({
+            "ruleId": violation.rule_id,
+            "level": "error" if violation.severity == "error" else "warning",
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.col + 1,
+                    },
+                },
+            }],
+        })
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://github.com/repro/lukewarm-serverless",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, sort_keys=True, indent=2)

@@ -18,6 +18,15 @@ instance to :data:`ALL_RULES`.
 | REPRO007 | broad ``except Exception`` in engine code outside resilience  |
 | REPRO008 | module-level tracer/metrics singletons (observability must be |
 |          | injected per context, never ambient global state)             |
+
+Two further rules, REPRO009 (cache-key soundness) and REPRO010 (worker
+safety), are *whole-program* analyses over the import/call graph; they
+live in :mod:`repro.lint.soundness` rather than here because they check
+relationships between files, not patterns within one.  The
+interprocedural taint pass in :mod:`repro.lint.flow` additionally
+re-reports REPRO001/REPRO006 findings that are only visible through the
+call graph (a sim-path function reaching ``time.time()`` via helpers in
+unscoped modules).
 """
 
 from __future__ import annotations

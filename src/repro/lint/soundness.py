@@ -1,0 +1,399 @@
+"""Whole-program soundness rules: cache keys (REPRO009) and worker
+safety (REPRO010).
+
+**REPRO009 -- cache-key soundness.**  A sweep cell's cache key embeds
+:func:`repro.engine.job.code_version` (a digest of the simulation
+subtrees) and :func:`repro.engine.job.provider_version` (a digest of the
+provider module's import closure).  The rule recomputes each registered
+provider's *static* import closure from the :class:`~repro.lint.graph
+.ProjectGraph` and fails if any closure module escapes the union of the
+``code_version()`` subtrees and the modules ``provider_version()``
+actually digests: such a module could change without invalidating the
+provider's memoized cells -- a silent stale-cache hazard.  Because the
+engine side digests the analyzer-computed closure, the rule is a
+cross-validation: it fires exactly when someone bypasses or narrows the
+closure digest.
+
+**REPRO010 -- worker safety.**  Objects crossing the
+:class:`~repro.engine.executors.ProcessExecutor` pickle boundary (the
+classes named by :data:`repro.engine.executors.PICKLE_BOUNDARY`) must not
+carry unpicklable members (lambdas, open handles, locks, generators), and
+worker-reachable code must not mutate module-level mutable state: each
+pool worker has its own copy, so such mutations silently diverge between
+serial and parallel runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import Violation
+from repro.lint.graph import (
+    MUTABLE_CALLS,
+    ModuleNode,
+    ProjectGraph,
+    dotted_name,
+)
+
+
+@dataclass(frozen=True)
+class WholeProgramRule:
+    """Registry descriptor for a whole-program rule (no per-file check)."""
+
+    id: str
+    severity: str
+    description: str
+
+
+REPRO009 = WholeProgramRule(
+    id="REPRO009", severity="error",
+    description=("cache-key soundness: every module in a provider's "
+                 "import closure must be covered by code_version() or "
+                 "digested by provider_version()"))
+
+REPRO010 = WholeProgramRule(
+    id="REPRO010", severity="error",
+    description=("worker safety: no unpicklable members on classes "
+                 "crossing the ProcessExecutor boundary; no module-level "
+                 "mutable state mutated in worker-reachable code"))
+
+WHOLE_PROGRAM_RULES: Tuple[WholeProgramRule, ...] = (REPRO009, REPRO010)
+
+#: Decorator (last dotted component) that marks a function as a config
+#: builder; the module defining it is a cache *provider*.
+PROVIDER_DECORATOR = "register_config"
+
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "pop", "popitem",
+    "remove", "discard", "clear", "setdefault",
+})
+
+_UNPICKLABLE_CALLS = frozenset({
+    "open",
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Event", "threading.Semaphore", "threading.BoundedSemaphore",
+    "threading.Barrier",
+})
+
+
+def discover_providers(graph: ProjectGraph) -> Tuple[str, ...]:
+    """Modules that register config builders (``@register_config``),
+    plus the default provider module when it is part of the graph."""
+    providers: Set[str] = set()
+    for info in graph.functions().values():
+        for dec in info.decorators:
+            if dec.rsplit(".", 1)[-1] == PROVIDER_DECORATOR:
+                providers.add(info.module)
+    default = f"{graph.package}.experiments.common"
+    if default in graph.modules:
+        providers.add(default)
+    return tuple(sorted(providers))
+
+
+def _default_covered_prefixes(graph: ProjectGraph) -> Tuple[str, ...]:
+    """Module-name prefixes covered by the engine's code_version()."""
+    if graph.package != "repro":
+        return ()
+    from repro.engine import job as _job
+
+    prefixes = tuple(f"repro.{subtree}" for subtree in _job._CODE_SUBTREES)
+    files = tuple(
+        "repro." + name[:-3].replace("/", ".") if name.endswith(".py")
+        else "repro." + name.replace("/", ".")
+        for name in _job._CODE_FILES)
+    return prefixes + files
+
+
+def _covered(module: str, prefixes: Sequence[str]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+def check_cache_soundness(
+        graph: ProjectGraph,
+        providers: Optional[Sequence[str]] = None,
+        covered_prefixes: Optional[Sequence[str]] = None,
+        digested: Optional[Callable[[str], Iterable[str]]] = None,
+) -> List[Violation]:
+    """REPRO009: audit provider closures against the engine's digests.
+
+    ``digested(provider)`` must return the module names whose sources the
+    engine folds into ``provider_version(provider)``; it defaults to
+    :func:`repro.engine.job.provider_closure`, making the default run a
+    cross-validation of the real engine.  Tests pass a narrowed function
+    (e.g. single-file digests) to prove the rule catches the hazard.
+    """
+    if providers is None:
+        providers = discover_providers(graph)
+    if covered_prefixes is None:
+        covered_prefixes = _default_covered_prefixes(graph)
+    if digested is None:
+        from repro.engine.job import provider_closure as digested
+
+    violations: List[Violation] = []
+    for provider in providers:
+        if provider not in graph.modules:
+            continue
+        closure = graph.closure(provider)
+        digested_set = set(digested(provider))
+        for module in closure:
+            if _covered(module, covered_prefixes):
+                continue
+            if module in digested_set:
+                continue
+            node = graph.modules[provider]
+            violations.append(Violation(
+                rule_id=REPRO009.id,
+                severity=REPRO009.severity,
+                path=str(node.path),
+                line=1,
+                col=0,
+                message=(f"cache-key soundness: provider {provider!r} "
+                         f"depends on {module!r}, which is neither in a "
+                         f"code_version() subtree nor digested by "
+                         f"provider_version(); editing it would leave "
+                         f"{provider!r}'s cached cells stale"),
+            ))
+    return violations
+
+
+def _default_boundary(graph: ProjectGraph) -> Tuple[str, ...]:
+    if graph.package != "repro":
+        return ()
+    from repro.engine.executors import PICKLE_BOUNDARY
+    return PICKLE_BOUNDARY
+
+
+def check_worker_safety(
+        graph: ProjectGraph,
+        boundary: Optional[Sequence[str]] = None,
+        entries: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """REPRO010: pickle-boundary classes and worker-visible module state."""
+    if boundary is None:
+        boundary = _default_boundary(graph)
+    violations: List[Violation] = []
+    violations.extend(_check_boundary_classes(graph, boundary))
+    violations.extend(_check_module_state_mutation(graph, entries))
+    violations.sort(key=lambda v: (v.path, v.line, v.col))
+    return violations
+
+
+def _check_boundary_classes(graph: ProjectGraph,
+                            boundary: Sequence[str]) -> List[Violation]:
+    violations: List[Violation] = []
+    table = graph.functions()
+    for spec in boundary:
+        module_name, _, qualname = spec.partition(":")
+        info = table.get(f"{module_name}:{qualname}")
+        if info is None or not isinstance(info.node, ast.ClassDef):
+            continue
+        module = graph.modules[module_name]
+        for value, what in _member_values(info.node):
+            reason = _unpicklable_reason(module, value)
+            if reason is not None:
+                violations.append(Violation(
+                    rule_id=REPRO010.id, severity=REPRO010.severity,
+                    path=str(module.path), line=value.lineno,
+                    col=value.col_offset,
+                    message=(f"worker safety: {what} of {qualname!r} is "
+                             f"{reason}, but instances of {qualname!r} "
+                             f"cross the ProcessExecutor pickle boundary"),
+                ))
+    return violations
+
+
+def _member_values(cls: ast.ClassDef):
+    """(value expression, description) pairs for class members."""
+    for stmt in cls.body:
+        value = None
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            value = stmt.value
+        if value is not None:
+            yield value, "a class attribute"
+        if (isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "__init__"):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if (isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"):
+                            yield sub.value, \
+                                f"instance attribute {target.attr!r}"
+
+
+def _unpicklable_reason(module: ModuleNode,
+                        value: ast.expr) -> Optional[str]:
+    if isinstance(value, ast.Lambda):
+        return "a lambda (unpicklable)"
+    if isinstance(value, ast.GeneratorExp):
+        return "a generator expression (unpicklable)"
+    if isinstance(value, ast.Call):
+        # field(default_factory=...) values are built per instance; the
+        # factory itself never crosses the boundary -- but a *default*
+        # that is itself unpicklable does.
+        dotted = dotted_name(value.func)
+        if dotted is not None:
+            canonical = _canonical(module, dotted)
+            if canonical in _UNPICKLABLE_CALLS:
+                return f"a {canonical}() value (unpicklable)"
+        for kw in value.keywords:
+            if kw.arg == "default" and isinstance(kw.value, ast.Lambda):
+                return "a lambda default (unpicklable)"
+    return None
+
+
+def _canonical(module: ModuleNode, dotted: str) -> str:
+    parts = dotted.split(".")
+    binding = module.bindings.get(parts[0])
+    if binding is None:
+        return dotted
+    if binding.attr is None:
+        return ".".join([binding.module] + parts[1:])
+    return ".".join([binding.module, binding.attr] + parts[1:])
+
+
+def _module_mutables(node: ModuleNode) -> Set[str]:
+    """Names of module-level assignments holding mutable containers."""
+    mutables: Set[str] = set()
+    for stmt in node.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None or not _is_mutable_expr(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutables.add(target.id)
+    return mutables
+
+
+def _is_mutable_expr(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = value.func.id if isinstance(value.func, ast.Name) else None
+        return name in MUTABLE_CALLS
+    return False
+
+
+def _worker_reachable(graph: ProjectGraph,
+                      entries: Optional[Sequence[str]]) -> Set[str]:
+    from repro.lint import flow
+
+    table = graph.functions()
+    entry_ids = (flow.resolve_entries(graph) if entries is None
+                 else flow.resolve_entries(graph, entries))
+    reachable: Set[str] = set()
+    stack = list(entry_ids)
+    while stack:
+        fid = stack.pop()
+        if fid in reachable or fid not in table:
+            continue
+        reachable.add(fid)
+        stack.extend(sorted(table[fid].calls))
+    return reachable
+
+
+def _check_module_state_mutation(
+        graph: ProjectGraph,
+        entries: Optional[Sequence[str]]) -> List[Violation]:
+    mutables_by_module = {name: _module_mutables(node)
+                          for name, node in graph.modules.items()}
+    table = graph.functions()
+    violations: List[Violation] = []
+    for fid in sorted(_worker_reachable(graph, entries)):
+        info = table[fid]
+        module = graph.modules[info.module]
+        local_names = _locally_bound_names(info.node)
+        for name, line, how in _mutations_in(info.node, module,
+                                             mutables_by_module):
+            if name in local_names:
+                continue  # shadowed by a local binding; not module state
+            violations.append(Violation(
+                rule_id=REPRO010.id, severity=REPRO010.severity,
+                path=str(module.path), line=line, col=0,
+                message=(f"worker safety: {info.qualname!r} is reachable "
+                         f"from the worker entry points and {how} "
+                         f"module-level mutable {name!r}; each pool "
+                         f"worker mutates its own copy, so serial and "
+                         f"parallel runs silently diverge"),
+            ))
+    return violations
+
+
+def _locally_bound_names(node: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Assign):
+            for target in child.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(child, ast.AnnAssign):
+            if isinstance(child.target, ast.Name):
+                names.add(child.target.id)
+    # `global X` declarations un-shadow: mutations hit module state.
+    for child in ast.walk(node):
+        if isinstance(child, ast.Global):
+            names.difference_update(child.names)
+    return names
+
+
+def _mutations_in(node: ast.AST, module: ModuleNode,
+                  mutables_by_module: Dict[str, Set[str]]):
+    """Yield ``(module_level_name, lineno, verb)`` mutation witnesses."""
+    own = mutables_by_module.get(module.name, set())
+
+    def classify_target(expr: ast.expr) -> Optional[str]:
+        # NAME[...] or NAME.method style bases; also alias.NAME for
+        # imported-module attributes.
+        if isinstance(expr, ast.Name) and expr.id in own:
+            return expr.id
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value,
+                                                          ast.Name):
+            binding = module.bindings.get(expr.value.id)
+            if binding is None:
+                return None
+            # `import pkg.state as state` binds the module directly;
+            # `from pkg import state` binds ("pkg", "state") -- treat it
+            # as module-valued when pkg.state is a known module.
+            if binding.attr is None:
+                bound = binding.module
+            else:
+                bound = f"{binding.module}.{binding.attr}"
+            if bound in mutables_by_module:
+                remote = mutables_by_module[bound]
+                if expr.attr in remote:
+                    return f"{bound}.{expr.attr}"
+        return None
+
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            func = child.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATOR_METHODS):
+                name = classify_target(func.value)
+                if name is not None:
+                    yield name, child.lineno, f"calls .{func.attr}() on"
+        elif isinstance(child, (ast.Assign, ast.AugAssign)):
+            targets = (child.targets if isinstance(child, ast.Assign)
+                       else [child.target])
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    name = classify_target(target.value)
+                    if name is not None:
+                        yield name, child.lineno, "stores into"
+        elif isinstance(child, ast.Delete):
+            for target in child.targets:
+                if isinstance(target, ast.Subscript):
+                    name = classify_target(target.value)
+                    if name is not None:
+                        yield name, child.lineno, "deletes from"

@@ -180,6 +180,89 @@ class TestProviderVersion:
             provider_version("repro.no_such_module_anywhere")
 
 
+class TestProviderClosure:
+    def test_closure_is_sorted_and_includes_provider(self):
+        from repro.engine import provider_closure
+
+        closure = provider_closure("repro.experiments.common")
+        assert closure == tuple(sorted(closure))
+        assert "repro.experiments.common" in closure
+
+    def test_closure_covers_indirect_helpers(self):
+        """The whole point of the closure digest: helper modules a
+        builder merely imports participate in its fingerprint."""
+        from repro.engine import provider_closure
+
+        closure = provider_closure("repro.experiments.fig01_iat")
+        assert "repro.experiments.common" in closure  # direct import
+        assert any(m.startswith("repro.workloads") for m in closure)
+
+    def test_closure_edit_changes_provider_version(self, tmp_path,
+                                                   monkeypatch):
+        """Editing a helper merely *imported* by the provider (never
+        named in the job) must change provider_version()."""
+        from repro.engine import (invalidate_fingerprint_caches,
+                                  provider_closure)
+
+        pkg = tmp_path / "cljob"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "prov.py").write_text(
+            "from cljob import util\ndef build(cfg):\n"
+            "    return util.shape(cfg)\n")
+        (pkg / "util.py").write_text("def shape(cfg):\n    return cfg\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        invalidate_fingerprint_caches()
+        try:
+            assert provider_closure("cljob.prov") == (
+                "cljob", "cljob.prov", "cljob.util")
+            before = provider_version("cljob.prov")
+            (pkg / "util.py").write_text(
+                "def shape(cfg):\n    return cfg * 2\n")
+            invalidate_fingerprint_caches()
+            assert provider_version("cljob.prov") != before
+        finally:
+            invalidate_fingerprint_caches()
+
+
+class TestNonReproProviders:
+    """Regression (satellite of the analyzer PR): providers outside the
+    ``repro`` package resolve through ``importlib.util.find_spec``
+    without being imported."""
+
+    def test_stdlib_package_provider_fingerprints(self):
+        digest = provider_version("json")
+        assert len(digest) == 16
+        assert digest == provider_version("json")
+
+    def test_stdlib_plain_module_provider_fingerprints(self):
+        # A single-file module has no enclosing package graph; the
+        # closure degrades to the module itself.
+        from repro.engine import provider_closure
+
+        assert provider_closure("csv") == ("csv",)
+        assert len(provider_version("csv")) == 16
+
+    def test_unlocatable_provider_error_names_the_module(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            provider_version("zz_no_such_provider_pkg.mod")
+        message = str(excinfo.value)
+        assert "zz_no_such_provider_pkg" in message
+        assert "fingerprint" in message
+
+    def test_namespace_style_reason_is_explained(self, tmp_path,
+                                                 monkeypatch):
+        # A directory with no __init__.py is a namespace package: no
+        # source origin to digest, so the error must say why.
+        (tmp_path / "nspkg_prov").mkdir()
+        monkeypatch.syspath_prepend(str(tmp_path))
+        from repro.engine.job import _provider_source
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            _provider_source("nspkg_prov")
+        assert "namespace" in str(excinfo.value)
+
+
 class TestJobShape:
     def test_function_property(self):
         assert _job().function == "Auth-G"

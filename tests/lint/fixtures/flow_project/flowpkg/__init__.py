@@ -1,0 +1,1 @@
+"""Synthetic sim-path package for interprocedural taint-flow tests."""

@@ -1,0 +1,27 @@
+"""Entry points mirroring the sim hot loop of the real package."""
+
+from flowpkg import hop1
+from flowpkg.obs.clock import TickClock
+
+
+def run_invocation(trace):
+    """Reaches time.time() through two call hops (hop1 -> hop2)."""
+    scale = hop1.jitter()
+    return [block * scale for block in trace]
+
+
+def run_clocked(trace):
+    """Reads time only through the sanctioned obs.clock boundary."""
+    clock = TickClock()
+    start = clock.now()
+    return [(block, start) for block in trace]
+
+
+def run_listing(root):
+    """Filesystem-order nondeterminism, one hop away."""
+    return hop1.spill_order(root)
+
+
+def run_sorted_listing(root):
+    """The sanitized twin of run_listing: sorted() at the source."""
+    return hop1.stable_order(root)

@@ -1,0 +1,15 @@
+"""First hop: no nondeterminism of its own."""
+
+from flowpkg import hop2
+
+
+def jitter():
+    return hop2.read_time() * 2.0
+
+
+def spill_order(root):
+    return hop2.raw_listing(root)
+
+
+def stable_order(root):
+    return hop2.sorted_listing(root)

@@ -1,0 +1,16 @@
+"""Second hop: the actual taint sources."""
+
+import os
+import time
+
+
+def read_time():
+    return time.time()
+
+
+def raw_listing(root):
+    return os.listdir(root)
+
+
+def sorted_listing(root):
+    return sorted(os.listdir(root))

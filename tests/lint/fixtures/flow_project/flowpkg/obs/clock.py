@@ -1,0 +1,8 @@
+"""Sanctioned boundary: the one module allowed to read host time."""
+
+import time
+
+
+class TickClock:
+    def now(self):
+        return time.time()

@@ -1,0 +1,262 @@
+"""Tests for the interprocedural nondeterminism taint analysis.
+
+The acceptance fixture (``tests/lint/fixtures/flow_project``) is a
+miniature of the real package: entry points in ``flowpkg.entry`` reach
+``time.time()`` / ``os.listdir()`` through two call hops, and a
+sanctioned ``flowpkg.obs.clock`` boundary owns the one legitimate host
+time read.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import flow
+from repro.lint.graph import ProjectGraph
+
+FLOW_ROOT = Path(__file__).parent / "fixtures" / "flow_project" / "flowpkg"
+
+
+@pytest.fixture(scope="module")
+def graph() -> ProjectGraph:
+    return ProjectGraph.from_package(FLOW_ROOT, "flowpkg")
+
+
+def _analyze(graph, *entries, **kwargs):
+    return flow.analyze(graph, entries=list(entries), **kwargs)
+
+
+class TestEntryResolution:
+    def test_suffix_matched_specs(self, graph):
+        entries = flow.resolve_entries(graph, ["entry:run_invocation"])
+        assert entries == ("flowpkg.entry:run_invocation",)
+
+    def test_full_module_specs(self, graph):
+        entries = flow.resolve_entries(
+            graph, ["flowpkg.entry:run_listing"])
+        assert entries == ("flowpkg.entry:run_listing",)
+
+    def test_unknown_spec_resolves_to_nothing(self, graph):
+        assert flow.resolve_entries(graph, ["entry:no_such_fn"]) == ()
+
+    def test_decorator_marked_entries(self, tmp_path):
+        pkg = tmp_path / "deco"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "builders.py").write_text(
+            "import time\n"
+            "def register_config(name):\n"
+            "    def wrap(fn):\n"
+            "        return fn\n"
+            "    return wrap\n"
+            "@register_config('hot')\n"
+            "def build_hot(cfg):\n"
+            "    return time.time()\n"
+            "def unregistered(cfg):\n"
+            "    return time.time()\n")
+        graph = ProjectGraph.from_package(pkg, "deco")
+        entries = flow.resolve_entries(graph, [])
+        assert entries == ("deco.builders:build_hot",)
+        findings = flow.analyze(graph, entries=[])
+        assert len(findings) == 1
+        assert "build_hot" in findings[0].message
+
+
+class TestTwoHopTaint:
+    """Acceptance: a sim-path function reaching ``time.time()`` through
+    two call hops is flagged; the same value through ``obs.clock`` is
+    not."""
+
+    def test_wall_clock_two_hops_is_flagged(self, graph):
+        findings = _analyze(graph, "entry:run_invocation")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule_id == "REPRO006"
+        assert "wall-clock" in finding.message
+        assert "run_invocation" in finding.message
+        assert ("run_invocation -> jitter -> read_time -> time.time()"
+                in finding.message)
+        assert finding.path.endswith("hop2.py")
+
+    def test_sanctioned_clock_boundary_is_silent(self, graph):
+        assert _analyze(graph, "entry:run_clocked") == []
+
+    def test_witness_chain_is_shortest(self, graph):
+        paths = flow.trace_taint(graph, entries=["entry:run_invocation"])
+        assert len(paths) == 1
+        assert paths[0].chain == (
+            "flowpkg.entry:run_invocation",
+            "flowpkg.hop1:jitter",
+            "flowpkg.hop2:read_time",
+        )
+        assert paths[0].source.kind == "wall-clock"
+        assert paths[0].source.call == "time.time"
+
+    def test_entry_inside_sanctioned_module_never_starts(self, graph):
+        # The boundary's own time.time() must not be reported even when
+        # the boundary itself is named as an entry point.
+        assert _analyze(graph, "obs.clock:TickClock.now") == []
+
+
+class TestFilesystemOrder:
+    def test_raw_listing_flagged(self, graph):
+        findings = _analyze(graph, "entry:run_listing")
+        assert len(findings) == 1
+        assert findings[0].rule_id == "REPRO006"
+        assert "fs-order" in findings[0].message
+        assert "os.listdir" in findings[0].message
+
+    def test_sorted_listing_is_silent(self, graph):
+        assert _analyze(graph, "entry:run_sorted_listing") == []
+
+
+class TestSourceClassification:
+    @pytest.mark.parametrize("dotted,kind", [
+        ("time.time", "wall-clock"),
+        ("time.perf_counter", "wall-clock"),
+        ("datetime.datetime.now", "wall-clock"),
+        ("uuid.uuid4", "wall-clock"),
+        ("os.urandom", "wall-clock"),
+        ("random.random", "unseeded-rng"),
+        ("random.shuffle", "unseeded-rng"),
+        ("numpy.random.rand", "unseeded-rng"),
+        ("id", "object-identity"),
+        ("hash", "str-hash"),
+    ])
+    def test_taint_kinds(self, dotted, kind):
+        assert flow.classify_call(dotted, sanitized=False) == kind
+
+    @pytest.mark.parametrize("dotted", [
+        "random.Random", "numpy.random.default_rng", "sorted", "len",
+        "math.sqrt", "json.dumps",
+    ])
+    def test_benign_calls(self, dotted):
+        assert flow.classify_call(dotted, sanitized=False) is None
+
+    def test_sanitized_listing_is_benign(self):
+        assert flow.classify_call("os.listdir", sanitized=True) is None
+        assert flow.classify_call("os.listdir", sanitized=False) == "fs-order"
+
+
+def _mini_graph(tmp_path, body, package="mini"):
+    pkg = tmp_path / package
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text(body)
+    return ProjectGraph.from_package(pkg, package)
+
+
+class TestSetIteration:
+    def test_iterating_a_set_literal_is_flagged(self, tmp_path):
+        graph = _mini_graph(tmp_path, (
+            "def walk():\n"
+            "    out = []\n"
+            "    for name in {'a', 'b', 'c'}:\n"
+            "        out.append(name)\n"
+            "    return out\n"))
+        findings = flow.analyze(graph, entries=["mod:walk"])
+        assert len(findings) == 1
+        assert "set-iteration" in findings[0].message
+
+    def test_iterating_named_set_is_flagged(self, tmp_path):
+        graph = _mini_graph(tmp_path, (
+            "def walk(items):\n"
+            "    uniq = set(items)\n"
+            "    for x in uniq:\n"
+            "        yield x\n"))
+        findings = flow.analyze(graph, entries=["mod:walk"])
+        assert len(findings) == 1
+        assert "iter(uniq)" in findings[0].message
+
+    def test_iterating_sorted_set_is_silent(self, tmp_path):
+        graph = _mini_graph(tmp_path, (
+            "def walk(items):\n"
+            "    uniq = set(items)\n"
+            "    for x in sorted(uniq):\n"
+            "        yield x\n"))
+        assert flow.analyze(graph, entries=["mod:walk"]) == []
+
+
+class TestUnseededRng:
+    def test_module_level_rng_two_hops(self, tmp_path):
+        pkg = tmp_path / "rng"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "a.py").write_text(
+            "from rng import b\n"
+            "def entry():\n"
+            "    return b.middle()\n")
+        (pkg / "b.py").write_text(
+            "import random\n"
+            "def middle():\n"
+            "    return random.random()\n")
+        graph = ProjectGraph.from_package(pkg, "rng")
+        findings = flow.analyze(graph, entries=["a:entry"],
+                                dedup_per_file=False)
+        assert len(findings) == 1
+        assert findings[0].rule_id == "REPRO001"
+        assert "unseeded-rng" in findings[0].message
+
+    def test_seeded_generator_is_silent(self, tmp_path):
+        graph = _mini_graph(tmp_path, (
+            "import random\n"
+            "def entry(seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.random()\n"))
+        assert flow.analyze(graph, entries=["mod:entry"]) == []
+
+
+class TestDedupAgainstPerFileRules:
+    """Sources in files the scoped per-file pass already covers are not
+    re-reported by the whole-program pass."""
+
+    def _scoped_graph(self, tmp_path):
+        # A package literally named `repro` puts sim/hot.py into the
+        # `sim/` scope that the per-file WallClock rule covers.
+        pkg = tmp_path / "repro"
+        (pkg / "sim").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "entry.py").write_text(
+            "from repro.sim import hot\n"
+            "def run():\n"
+            "    return hot.step()\n")
+        (pkg / "sim" / "__init__.py").write_text("")
+        (pkg / "sim" / "hot.py").write_text(
+            "import time\n"
+            "def step():\n"
+            "    return time.time()\n")
+        return ProjectGraph.from_package(pkg, "repro")
+
+    def test_deduped_by_default(self, tmp_path):
+        graph = self._scoped_graph(tmp_path)
+        assert flow.analyze(graph, entries=["entry:run"]) == []
+
+    def test_reported_without_dedup(self, tmp_path):
+        graph = self._scoped_graph(tmp_path)
+        findings = flow.analyze(graph, entries=["entry:run"],
+                                dedup_per_file=False)
+        assert len(findings) == 1
+        assert findings[0].rule_id == "REPRO006"
+
+    def test_fixture_tree_is_outside_per_file_scopes(self, graph):
+        # flow_project files are not under sim/ etc., so dedup never
+        # hides the acceptance findings.
+        findings = flow.analyze(graph, entries=["entry:run_invocation"])
+        assert len(findings) == 1
+
+
+class TestDeterminism:
+    def test_analysis_output_is_stable(self, graph):
+        entries = ["entry:run_invocation", "entry:run_listing",
+                   "entry:run_clocked", "entry:run_sorted_listing"]
+        first = flow.analyze(graph, entries=entries)
+        second = flow.analyze(graph, entries=entries)
+        assert [v.message for v in first] == [v.message for v in second]
+        assert len(first) == 2
+
+    def test_real_tree_is_clean(self):
+        src_root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        real = ProjectGraph.from_package(src_root, "repro")
+        assert flow.analyze(real) == []

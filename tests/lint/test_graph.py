@@ -1,0 +1,310 @@
+"""Property/fixture tests for the whole-program import graph.
+
+Synthetic module trees exercise the resolution corners the analyzer must
+get right for closure digests to be trustworthy: import cycles, relative
+imports at every level, re-exports through ``__init__``, and stdlib names
+shadowed by project modules.  The property battery builds seeded random
+dependency graphs and checks the analyzer's closure against an
+independent reference computation.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint.graph import ProjectGraph
+
+
+def _write_package(root: Path, files: dict) -> Path:
+    """Materialize ``{relative_path: source}`` under ``root``."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return root
+
+
+def _graph(tmp_path: Path, files: dict, package: str = "pkg"
+           ) -> ProjectGraph:
+    root = _write_package(tmp_path / package, files)
+    return ProjectGraph.from_package(root, package)
+
+
+class TestDiscovery:
+    def test_modules_named_by_dotted_path(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "a.py": "",
+            "sub/__init__.py": "",
+            "sub/b.py": "",
+        })
+        assert set(graph.modules) == {"pkg", "pkg.a", "pkg.sub", "pkg.sub.b"}
+
+    def test_unparsable_file_is_skipped_not_fatal(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "ok.py": "X = 1\n",
+            "broken.py": "def f(:\n",
+        })
+        assert "pkg.ok" in graph.modules
+        assert "pkg.broken" not in graph.modules
+
+    def test_missing_root_is_typed_error(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ProjectGraph.from_package(tmp_path / "nope", "nope")
+
+
+class TestImportResolution:
+    def test_absolute_import(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "a.py": "import pkg.b\n",
+            "b.py": "",
+        })
+        assert "pkg.b" in graph.modules["pkg.a"].internal_deps
+
+    def test_importing_submodule_depends_on_parent_inits(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "a.py": "import pkg.sub.deep\n",
+            "sub/__init__.py": "",
+            "sub/deep.py": "",
+        })
+        deps = graph.modules["pkg.a"].internal_deps
+        assert {"pkg", "pkg.sub", "pkg.sub.deep"} <= deps
+
+    def test_relative_import_single_dot(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "sub/__init__.py": "",
+            "sub/a.py": "from . import b\n",
+            "sub/b.py": "",
+        })
+        assert "pkg.sub.b" in graph.modules["pkg.sub.a"].internal_deps
+
+    def test_relative_import_two_dots(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "other.py": "THING = 1\n",
+            "sub/__init__.py": "",
+            "sub/a.py": "from ..other import THING\n",
+        })
+        assert "pkg.other" in graph.modules["pkg.sub.a"].internal_deps
+
+    def test_relative_import_from_package_init(self, tmp_path):
+        # An __init__'s `from . import x` anchors at the package itself.
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "sub/__init__.py": "from . import a\n",
+            "sub/a.py": "",
+        })
+        assert "pkg.sub.a" in graph.modules["pkg.sub"].internal_deps
+
+    def test_external_imports_are_not_internal_deps(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "a.py": "import os\nfrom collections import deque\n",
+        })
+        node = graph.modules["pkg.a"]
+        assert not node.internal_deps
+        assert "os" in node.external_deps
+        assert "collections" in node.external_deps
+
+    def test_lazy_function_level_import_still_counts(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "a.py": "def f():\n    from pkg import b\n    return b\n",
+            "b.py": "",
+        })
+        assert "pkg.b" in graph.modules["pkg.a"].internal_deps
+
+
+class TestShadowedStdlibNames:
+    def test_project_json_module_vs_stdlib_json(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "json.py": "def dumps(x):\n    return str(x)\n",
+            "absolute.py": "import json\n",       # stdlib: absolute import
+            "relative.py": "from . import json\n",  # project module
+            "explicit.py": "from pkg import json\n",
+        })
+        assert not graph.modules["pkg.absolute"].internal_deps
+        assert "json" in graph.modules["pkg.absolute"].external_deps
+        assert "pkg.json" in graph.modules["pkg.relative"].internal_deps
+        assert "pkg.json" in graph.modules["pkg.explicit"].internal_deps
+
+    def test_shadowed_module_resolves_calls_internally(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "json.py": "def dumps(x):\n    return str(x)\n",
+            "user.py": ("from pkg import json\n"
+                        "def emit(x):\n    return json.dumps(x)\n"),
+        })
+        info = graph.functions()["pkg.user:emit"]
+        assert "pkg.json:dumps" in info.calls
+
+
+class TestReexports:
+    FILES = {
+        "__init__.py": "from pkg.impl import Thing, make_thing\n",
+        "impl.py": ("class Thing:\n"
+                    "    def __init__(self):\n"
+                    "        self.x = 1\n"
+                    "def make_thing():\n"
+                    "    return Thing()\n"),
+        "user.py": ("from pkg import Thing, make_thing\n"
+                    "def build():\n"
+                    "    t = Thing()\n"
+                    "    return make_thing()\n"),
+    }
+
+    def test_resolve_export_follows_init(self, tmp_path):
+        graph = _graph(tmp_path, self.FILES)
+        assert graph.resolve_export("pkg", "Thing") == ("pkg.impl", "Thing")
+        assert graph.resolve_export("pkg", "make_thing") == (
+            "pkg.impl", "make_thing")
+
+    def test_resolve_export_submodule(self, tmp_path):
+        graph = _graph(tmp_path, self.FILES)
+        assert graph.resolve_export("pkg", "impl") == ("pkg.impl", None)
+
+    def test_calls_resolve_through_reexport(self, tmp_path):
+        graph = _graph(tmp_path, self.FILES)
+        info = graph.functions()["pkg.user:build"]
+        assert "pkg.impl:make_thing" in info.calls
+        assert "pkg.impl:Thing" in info.calls
+
+    def test_chained_reexport(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "from pkg.middle import deep_fn\n",
+            "middle.py": "from pkg.deep import deep_fn\n",
+            "deep.py": "def deep_fn():\n    return 1\n",
+            "user.py": ("from pkg import deep_fn\n"
+                        "def go():\n    return deep_fn()\n"),
+        })
+        assert graph.resolve_export("pkg", "deep_fn") == (
+            "pkg.deep", "deep_fn")
+        assert "pkg.deep:deep_fn" in graph.functions()["pkg.user:go"].calls
+
+    def test_reexport_cycle_terminates(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "a.py": "from pkg.b import ghost\n",
+            "b.py": "from pkg.a import ghost\n",
+        })
+        assert graph.resolve_export("pkg.a", "ghost") is None
+
+
+class TestClosures:
+    def test_closure_includes_self_and_is_sorted(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "a.py": "from pkg import c\nfrom pkg import b\n",
+            "b.py": "",
+            "c.py": "",
+        })
+        closure = graph.closure("pkg.a")
+        assert closure == tuple(sorted(closure))
+        assert set(closure) == {"pkg", "pkg.a", "pkg.b", "pkg.c"}
+
+    def test_cycle_safe(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "a.py": "from pkg import b\n",
+            "b.py": "from pkg import c\n",
+            "c.py": "from pkg import a\n",
+        })
+        expected = {"pkg", "pkg.a", "pkg.b", "pkg.c"}
+        for module in ("pkg.a", "pkg.b", "pkg.c"):
+            assert set(graph.closure(module)) == expected
+
+    def test_closure_of_unknown_module_is_error(self, tmp_path):
+        graph = _graph(tmp_path, {"__init__.py": ""})
+        with pytest.raises(ConfigurationError):
+            graph.closure("pkg.missing")
+
+    def test_stable_across_rebuilds(self, tmp_path):
+        files = {
+            "__init__.py": "",
+            "a.py": "from pkg import b\nimport pkg.c\n",
+            "b.py": "from pkg import c\n",
+            "c.py": "",
+        }
+        root = _write_package(tmp_path / "pkg", files)
+        first = ProjectGraph.from_package(root, "pkg")
+        second = ProjectGraph.from_package(root, "pkg")
+        for module in sorted(first.modules):
+            assert first.closure(module) == second.closure(module)
+
+    def test_importers_of_inverts_closure(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "__init__.py": "",
+            "helper.py": "",
+            "user.py": "from pkg import helper\n",
+            "loner.py": "",
+        })
+        importers = graph.importers_of("pkg.helper")
+        assert "pkg.user" in importers
+        assert "pkg.loner" not in importers
+
+
+class TestClosureProperties:
+    """Seeded-random dependency graphs vs an independent reference BFS."""
+
+    def _random_tree(self, seed: int, n: int = 12) -> dict:
+        rng = random.Random(seed)
+        files = {"__init__.py": ""}
+        for i in range(n):
+            deps = [j for j in range(n) if j != i and rng.random() < 0.3]
+            body = "".join(f"from pkg import m{j}\n" for j in deps)
+            files[f"m{i}.py"] = body or "X = 1\n"
+        return files
+
+    def _reference_closure(self, files: dict, module: str) -> set:
+        """Closure computed straight from the source dict, no analyzer."""
+        import re
+
+        deps = {}
+        for rel, body in files.items():
+            if rel == "__init__.py":
+                name = "pkg"
+            else:
+                name = "pkg." + rel[:-3]
+            deps[name] = set(re.findall(r"from pkg import (m\d+)", body))
+        visited, stack = set(), [module]
+        while stack:
+            cur = stack.pop()
+            if cur in visited:
+                continue
+            visited.add(cur)
+            # `from pkg import x` also executes pkg's __init__.
+            if cur != "pkg":
+                visited.add("pkg") if deps.get(cur) else None
+            for dep in deps.get(cur, ()):
+                stack.append(f"pkg.{dep}")
+            if deps.get(cur):
+                stack.append("pkg")
+        return visited
+
+    @pytest.mark.parametrize("seed", [1, 7, 42, 1337])
+    def test_matches_reference(self, tmp_path, seed):
+        files = self._random_tree(seed)
+        graph = _graph(tmp_path, files, package="pkg")
+        for i in range(12):
+            module = f"pkg.m{i}"
+            got = set(graph.closure(module))
+            want = self._reference_closure(files, module)
+            assert got == want, f"closure mismatch for {module} (seed={seed})"
+
+    @pytest.mark.parametrize("seed", [3, 99])
+    def test_closure_is_transitively_consistent(self, tmp_path, seed):
+        """Every member's closure is a subset of the owner's closure."""
+        graph = _graph(tmp_path, self._random_tree(seed))
+        for module in graph.modules:
+            closure = set(graph.closure(module))
+            for member in closure:
+                assert set(graph.closure(member)) <= closure
