@@ -10,25 +10,26 @@ from conftest import run_once
 from repro.analysis.metrics import geomean_speedup, speedup
 from repro.analysis.report import format_table
 from repro.core.jukebox import Jukebox
-from repro.experiments.common import make_traces, run_baseline
-from repro.sim.core import LukewarmCore
+from repro.experiments.common import make_traces, run_config
+from repro.sim.core import Simulator
+from repro.sim.simulate import simulate
 from repro.sim.params import skylake
 
 FUNCTIONS = ["Email-P", "Pay-N", "ProdL-G", "Auth-G"]
 
 
 def _run_with_target(profile, machine, cfg, target):
-    core = LukewarmCore(machine)
+    sim = Simulator(machine, backend=cfg.backend)
     if target == "l1i":
         # Non-allocating L1-only prefetches: an evicted line is gone.
-        core.hierarchy.l1i_fill_allocates_lower = False
+        sim.hierarchy.l1i_fill_allocates_lower = False
     jukebox = Jukebox(machine.jukebox, replay_target=target)
     cycles = 0.0
     for i, trace in enumerate(make_traces(profile, cfg)):
-        core.flush_microarch_state()
-        jukebox.begin_invocation(core.hierarchy)
-        result = core.run(trace)
-        jukebox.end_invocation(core.hierarchy, result)
+        sim.flush_microarch_state()
+        jukebox.begin_invocation(sim.hierarchy)
+        result = simulate(trace, sim=sim)
+        jukebox.end_invocation(sim.hierarchy, result)
         if i >= cfg.warmup:
             cycles += result.cycles
     return cycles
@@ -41,7 +42,7 @@ def _sweep(cfg):
     l2_speedups, l1i_speedups = [], []
     for abbrev in FUNCTIONS:
         profile = get_profile(abbrev)
-        base = run_baseline(profile, machine, cfg).cycles
+        base = run_config(profile, machine, cfg, "baseline").cycles
         s_l2 = speedup(base, _run_with_target(profile, machine, cfg, "l2"))
         s_l1i = speedup(base, _run_with_target(profile, machine, cfg, "l1i"))
         l2_speedups.append(s_l2)

@@ -12,8 +12,9 @@ from conftest import run_once
 from repro.analysis.metrics import speedup
 from repro.analysis.report import format_table
 from repro.core.jukebox import Jukebox
-from repro.experiments.common import make_traces, run_baseline
-from repro.sim.core import LukewarmCore
+from repro.experiments.common import make_traces, run_config
+from repro.sim.core import Simulator
+from repro.sim.simulate import simulate
 from repro.sim.params import skylake
 from repro.workloads.suite import get_profile
 
@@ -22,16 +23,16 @@ FUNCTION = "Email-P"
 
 
 def _run_with_share(profile, machine, cfg, share):
-    core = LukewarmCore(machine)
+    sim = Simulator(machine, backend=cfg.backend)
     jukebox = Jukebox(machine.jukebox, replay_bandwidth_share=share)
     cycles = 0.0
     late = 0
     covered = 0
     for i, trace in enumerate(make_traces(profile, cfg)):
-        core.flush_microarch_state()
-        jukebox.begin_invocation(core.hierarchy)
-        result = core.run(trace)
-        rep = jukebox.end_invocation(core.hierarchy, result)
+        sim.flush_microarch_state()
+        jukebox.begin_invocation(sim.hierarchy)
+        result = simulate(trace, sim=sim)
+        rep = jukebox.end_invocation(sim.hierarchy, result)
         if i >= cfg.warmup:
             cycles += result.cycles
             late += rep.replay.covered_late
@@ -42,7 +43,7 @@ def _run_with_share(profile, machine, cfg, share):
 def _sweep(cfg):
     machine = skylake()
     profile = get_profile(FUNCTION)
-    base = run_baseline(profile, machine, cfg).cycles
+    base = run_config(profile, machine, cfg, "baseline").cycles
     rows = []
     speedups = []
     for share in SHARES:

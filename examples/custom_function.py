@@ -16,9 +16,9 @@ compact dense binary (Go-like layout) but compute-heavy (AES-like loops).
 Run:  python examples/custom_function.py
 """
 
-from repro import Jukebox, JukeboxParams, LukewarmCore, skylake
+from repro import JukeboxParams, Simulator, simulate, skylake
 from repro.analysis import format_table, pairwise_jaccard, speedup
-from repro.experiments.common import RunConfig, run_baseline, run_jukebox
+from repro.experiments.common import RunConfig, run_config
 from repro.units import KB
 from repro.workloads import FunctionModel, FunctionProfile
 from repro.workloads.profiles import LANG_GO
@@ -60,14 +60,14 @@ def validate_model() -> None:
 def predict_lukewarm_behaviour() -> None:
     cfg = RunConfig(invocations=4, warmup=1)
     machine = skylake()
-    reference = LukewarmCore(machine)
+    reference = Simulator(machine)
     model = FunctionModel(THUMBNAIL, seed=1)
     warm_cpi = 0.0
     for i in range(3):
-        warm_cpi = reference.run(model.invocation_trace(i)).cpi
+        warm_cpi = simulate(model.invocation_trace(i), sim=reference).cpi
 
-    base = run_baseline(THUMBNAIL, machine, cfg)
-    jb = run_jukebox(THUMBNAIL, machine, cfg)
+    base = run_config(THUMBNAIL, machine, cfg, "baseline")
+    jb = run_config(THUMBNAIL, machine, cfg, "jukebox")
     report = jb.jukebox_reports[-1]
     rows = [
         ["warm CPI", f"{warm_cpi:.2f}"],
@@ -87,11 +87,11 @@ def predict_lukewarm_behaviour() -> None:
 def size_metadata_budget() -> None:
     cfg = RunConfig(invocations=4, warmup=1)
     machine = skylake()
-    base = run_baseline(THUMBNAIL, machine, cfg)
+    base = run_config(THUMBNAIL, machine, cfg, "baseline")
     rows = []
     for budget in (4 * KB, 8 * KB, 16 * KB):
         m = machine.with_jukebox(JukeboxParams(metadata_bytes=budget))
-        jb = run_jukebox(THUMBNAIL, m, cfg)
+        jb = run_config(THUMBNAIL, m, cfg, "jukebox")
         rows.append([f"{budget // KB}KB",
                      f"{speedup(base.cycles, jb.cycles) * 100:+.1f}%"])
     print(format_table(["metadata budget", "speedup"], rows,

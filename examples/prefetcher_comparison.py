@@ -20,10 +20,7 @@ from repro import PIFParams, pif_ideal_params, skylake
 from repro.analysis import format_table, geomean_speedup, speedup
 from repro.experiments.common import (
     RunConfig,
-    run_baseline,
-    run_jukebox,
-    run_perfect_icache,
-    run_pif,
+    run_config,
 )
 from repro.workloads import REPRESENTATIVES, get_profile
 
@@ -37,17 +34,17 @@ def main() -> None:
     machine = skylake()
 
     configs = {
-        "PIF": lambda p: run_pif(p, machine, cfg, PIFParams()),
-        "PIF-ideal": lambda p: run_pif(p, machine, cfg, pif_ideal_params()),
-        "Jukebox": lambda p: run_jukebox(p, machine, cfg),
-        "Perfect I$": lambda p: run_perfect_icache(p, machine, cfg),
+        "PIF": lambda p: run_config(p, machine, cfg, "pif", params=PIFParams()),
+        "PIF-ideal": lambda p: run_config(p, machine, cfg, "pif", params=pif_ideal_params()),
+        "Jukebox": lambda p: run_config(p, machine, cfg, "jukebox"),
+        "Perfect I$": lambda p: run_config(p, machine, cfg, "perfect"),
     }
 
     speedups = {name: [] for name in configs}
     rows = []
     for abbrev in REPRESENTATIVES:
         profile = get_profile(abbrev)
-        base = run_baseline(profile, machine, cfg)
+        base = run_config(profile, machine, cfg, "baseline")
         row = [abbrev, f"{base.cpi:.2f}"]
         for name, runner in configs.items():
             s = speedup(base.cycles, runner(profile).cycles)

@@ -12,29 +12,29 @@ three key configurations on the Skylake-like machine:
 Run:  python examples/quickstart.py
 """
 
-from repro import Jukebox, LukewarmCore, skylake
+from repro import Jukebox, Simulator, simulate, skylake
 from repro.analysis import format_table, speedup
 from repro.workloads import FunctionModel, get_profile
 
 INVOCATIONS = 5
 
 
-def simulate(flush: bool, with_jukebox: bool) -> float:
+def run_sequence(flush: bool, with_jukebox: bool) -> float:
     """Return the cycles of the last (steady-state) invocation."""
     machine = skylake()
-    core = LukewarmCore(machine)
+    sim = Simulator(machine)
     jukebox = Jukebox(machine.jukebox) if with_jukebox else None
     model = FunctionModel(get_profile("Auth-G"), seed=42)
 
     cycles = 0.0
     for i in range(INVOCATIONS):
         if flush:
-            core.flush_microarch_state()       # the lukewarm condition
+            sim.flush_microarch_state()       # the lukewarm condition
         if jukebox is not None:
-            jukebox.begin_invocation(core.hierarchy)
-        result = core.run(model.invocation_trace(i))
+            jukebox.begin_invocation(sim.hierarchy)
+        result = simulate(model.invocation_trace(i), sim=sim)
         if jukebox is not None:
-            report = jukebox.end_invocation(core.hierarchy, result)
+            report = jukebox.end_invocation(sim.hierarchy, result)
             if i == INVOCATIONS - 1:
                 replay = report.replay
                 print(f"  jukebox replay: {replay.lines_prefetched} lines "
@@ -50,11 +50,11 @@ def simulate(flush: bool, with_jukebox: bool) -> float:
 
 def main() -> None:
     print("reference (warm back-to-back):")
-    reference = simulate(flush=False, with_jukebox=False)
+    reference = run_sequence(flush=False, with_jukebox=False)
     print("\nlukewarm baseline (state flushed between invocations):")
-    baseline = simulate(flush=True, with_jukebox=False)
+    baseline = run_sequence(flush=True, with_jukebox=False)
     print("\nlukewarm + Jukebox:")
-    jukebox = simulate(flush=True, with_jukebox=True)
+    jukebox = run_sequence(flush=True, with_jukebox=True)
 
     rows = [
         ["reference", f"{reference:,.0f}", "--"],

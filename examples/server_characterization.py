@@ -15,7 +15,7 @@ Run:  python examples/server_characterization.py
 
 from repro.analysis import format_table
 from repro.server import FixedTTL, ServerConfig, ServerSimulator, Stressor
-from repro.sim import LukewarmCore, broadwell
+from repro.sim import Simulator, broadwell, simulate
 from repro.units import MB
 from repro.workloads import FunctionModel, SUITE, get_profile
 from repro.workloads.arrival import LognormalArrivals
@@ -81,13 +81,13 @@ def cpi_vs_iat_study() -> None:
     rows = []
     for iat_ms in (0.0, 10.0, 100.0, 1000.0):
         stressor = Stressor(load=0.5, seed=1)
-        core = LukewarmCore(broadwell())
+        sim = Simulator(broadwell())
         cpi = 0.0
         for i, trace in enumerate(traces):
             if iat_ms > 0:
-                stressor.idle_gap(core, iat_ms)
-                stressor.apply_contention(core)
-            result = core.run(trace)
+                stressor.idle_gap(sim, iat_ms)
+                stressor.apply_contention(sim)
+            result = simulate(trace, sim=sim)
             if i == len(traces) - 1:
                 cpi = result.cpi
         rows.append([int(iat_ms), f"{cpi:.2f}"])

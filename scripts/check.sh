@@ -37,6 +37,14 @@ print(f"repro-lint: clean ({doc['files']} files, "
       f"{s['grandfathered']} grandfathered)")
 EOF
 
+echo "== backend throughput gate (benchmarks/bench_engine.py --json) =="
+# Fails (exit 1) if the columnar backend's speedup over the scalar
+# reference drops below 5x on the instruction-fetch gate cell; the full
+# cell matrix lands in benchmarks/results/BENCH_engine.json.
+mkdir -p benchmarks/results
+python benchmarks/bench_engine.py --json \
+    --out benchmarks/results/BENCH_engine.json
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo "== pytest (fast: unit suites only) =="
     python -m pytest -q \

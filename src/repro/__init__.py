@@ -17,18 +17,23 @@ Public API layers:
 
 Quickstart::
 
-    from repro import Jukebox, LukewarmCore, skylake
+    from repro import Jukebox, Simulator, simulate, skylake
     from repro.workloads import FunctionModel, get_profile
 
-    core = LukewarmCore(skylake())
+    sim = Simulator(skylake())                # columnar backend by default
     model = FunctionModel(get_profile("Auth-G"))
-    jukebox = Jukebox(core.machine.jukebox)
+    jukebox = Jukebox(sim.machine.jukebox)
     for i in range(3):
-        core.flush_microarch_state()          # lukewarm invocation
-        jukebox.begin_invocation(core.hierarchy)
-        result = core.run(model.invocation_trace(i))
-        jukebox.end_invocation(core.hierarchy, result)
+        sim.flush_microarch_state()           # lukewarm invocation
+        jukebox.begin_invocation(sim.hierarchy)
+        result = simulate(model.invocation_trace(i), sim=sim)
+        jukebox.end_invocation(sim.hierarchy, result)
         print(f"invocation {i}: CPI={result.cpi:.2f}")
+
+One-shot cold runs need no simulator at all --
+``simulate(trace, skylake())`` builds one; hand-written traces come from
+:class:`repro.workloads.TraceBuilder`.  The historical ``LukewarmCore``
+name still resolves but emits a :class:`DeprecationWarning`.
 """
 
 from repro.core import Jukebox, PIF, PIFParams, pif_ideal_params
@@ -42,6 +47,7 @@ from repro.errors import (
     TraceError,
 )
 from repro.sim import (
+    BACKENDS,
     BROADWELL,
     SKYLAKE,
     InvocationResult,
@@ -49,15 +55,24 @@ from repro.sim import (
     LukewarmCore,
     MachineParams,
     MemoryHierarchy,
+    Simulator,
     TopDownBreakdown,
     broadwell,
+    simulate,
     skylake,
 )
-from repro.workloads import FunctionModel, FunctionProfile, SUITE, get_profile
+from repro.workloads import (
+    FunctionModel,
+    FunctionProfile,
+    SUITE,
+    TraceBuilder,
+    get_profile,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BACKENDS",
     "BROADWELL",
     "ConfigError",
     "ConfigurationError",
@@ -77,11 +92,14 @@ __all__ = [
     "SKYLAKE",
     "SUITE",
     "SimulationError",
+    "Simulator",
     "TopDownBreakdown",
+    "TraceBuilder",
     "TraceError",
     "broadwell",
     "get_profile",
     "pif_ideal_params",
+    "simulate",
     "skylake",
     "__version__",
 ]

@@ -43,6 +43,10 @@ class JukeboxRecorder:
         if evicted is not None:
             self._write_entry(evicted)
 
+    #: Advertised to the columnar backend: bulk L1-hit execution stays
+    #: legal while the recorder is installed (see RecordHook docs).
+    fetch_is_noop = True
+
     def on_fetch(self, block_vaddr: int, cycle: float) -> None:
         """L1-I demand fetch: Jukebox's record logic ignores L2 hits."""
 

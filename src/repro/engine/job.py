@@ -34,7 +34,10 @@ from typing import Any, Dict, Tuple
 from repro.errors import ConfigurationError
 
 #: Bumped whenever the cache payload layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: ``RunConfig`` grew the ``backend`` field (columnar/scalar execution
+#: backends); the field participates in every key through ``cfg``, so
+#: results memoized under the pre-backend layout can never alias new ones.
+SCHEMA_VERSION = 2
 
 #: Module whose ``CONFIGS`` registry resolves standard config names.
 DEFAULT_PROVIDER = "repro.experiments.common"

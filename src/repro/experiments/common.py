@@ -36,8 +36,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.core.jukebox import Jukebox, JukeboxInvocationReport
 from repro.core.pif import PIF, PIFParams
 from repro.errors import ConfigurationError
-from repro.sim.core import InvocationResult, LukewarmCore
+from repro.sim.core import BACKENDS, InvocationResult, Simulator
 from repro.sim.params import MachineParams
+from repro.sim.simulate import simulate
 from repro.workloads.function import FunctionModel
 from repro.workloads.profiles import FunctionProfile
 from repro.workloads.trace import InvocationTrace
@@ -50,12 +51,19 @@ class RunConfig:
     ``instruction_scale`` shrinks per-invocation instruction counts (reuse
     depth) without changing footprints; benchmarks use ``fast()`` to keep
     wall-clock time low while preserving every result's shape.
+
+    ``backend`` selects the simulation backend (``"columnar"`` or
+    ``"scalar"``).  Both are bit-identical by contract, so the choice only
+    affects throughput -- but it is still part of the cache identity (see
+    :meth:`repro.engine.job.Job.key`) because the equivalence is *enforced*,
+    not assumed.
     """
 
     invocations: int = 7
     warmup: int = 2
     seed: int = 1
     instruction_scale: float = 1.0
+    backend: str = "columnar"
 
     def __post_init__(self) -> None:
         if self.invocations <= self.warmup:
@@ -66,6 +74,11 @@ class RunConfig:
         if self.instruction_scale <= 0:
             raise ConfigurationError(
                 f"instruction_scale must be > 0, got {self.instruction_scale}"
+            )
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown simulation backend {self.backend!r}; "
+                f"expected one of {', '.join(BACKENDS)}"
             )
 
     def replace(self, **kwargs: Any) -> "RunConfig":
@@ -120,21 +133,21 @@ def make_traces(profile: FunctionProfile, cfg: RunConfig) -> List[InvocationTrac
     return [model.invocation_trace(i) for i in range(cfg.invocations)]
 
 
-def _measure(core: LukewarmCore, traces: List[InvocationTrace], cfg: RunConfig,
+def _measure(sim: Simulator, traces: List[InvocationTrace], cfg: RunConfig,
              flush: bool, jukebox: Optional[Jukebox] = None,
              pif: Optional[PIF] = None) -> SequenceResult:
     measured: List[InvocationResult] = []
     reports: List[JukeboxInvocationReport] = []
     for i, trace in enumerate(traces):
         if flush:
-            core.flush_microarch_state()
+            sim.flush_microarch_state()
             if pif is not None:
                 pif.flush()
         if jukebox is not None:
-            jukebox.begin_invocation(core.hierarchy)
-        result = core.run(trace)
+            jukebox.begin_invocation(sim.hierarchy)
+        result = simulate(trace, sim=sim)
         if jukebox is not None:
-            report = jukebox.end_invocation(core.hierarchy, result)
+            report = jukebox.end_invocation(sim.hierarchy, result)
             if i >= cfg.warmup:
                 reports.append(report)
         if i >= cfg.warmup:
@@ -196,25 +209,25 @@ def run_config(profile: FunctionProfile, machine: Optional[MachineParams],
 def _build_reference(profile: FunctionProfile, machine: MachineParams,
                      cfg: RunConfig) -> SequenceResult:
     """Back-to-back warm invocations on an otherwise idle core."""
-    core = LukewarmCore(machine)
-    return _measure(core, make_traces(profile, cfg), cfg, flush=False)
+    sim = Simulator(machine, backend=cfg.backend)
+    return _measure(sim, make_traces(profile, cfg), cfg, flush=False)
 
 
 @register_config("baseline")
 def _build_baseline(profile: FunctionProfile, machine: MachineParams,
                     cfg: RunConfig) -> SequenceResult:
     """The lukewarm baseline: full state flush between invocations."""
-    core = LukewarmCore(machine)
-    return _measure(core, make_traces(profile, cfg), cfg, flush=True)
+    sim = Simulator(machine, backend=cfg.backend)
+    return _measure(sim, make_traces(profile, cfg), cfg, flush=True)
 
 
 @register_config("jukebox")
 def _build_jukebox(profile: FunctionProfile, machine: MachineParams,
                    cfg: RunConfig) -> SequenceResult:
     """Baseline plus Jukebox record/replay."""
-    core = LukewarmCore(machine)
+    sim = Simulator(machine, backend=cfg.backend)
     jukebox = Jukebox(machine.jukebox)
-    return _measure(core, make_traces(profile, cfg), cfg, flush=True,
+    return _measure(sim, make_traces(profile, cfg), cfg, flush=True,
                     jukebox=jukebox)
 
 
@@ -222,9 +235,9 @@ def _build_jukebox(profile: FunctionProfile, machine: MachineParams,
 def _build_perfect_icache(profile: FunctionProfile, machine: MachineParams,
                           cfg: RunConfig) -> SequenceResult:
     """Baseline with an infinite, flush-surviving L1-I (upper bound)."""
-    core = LukewarmCore(machine)
-    core.hierarchy.perfect_icache = True
-    return _measure(core, make_traces(profile, cfg), cfg, flush=True)
+    sim = Simulator(machine, backend=cfg.backend)
+    sim.hierarchy.perfect_icache = True
+    return _measure(sim, make_traces(profile, cfg), cfg, flush=True)
 
 
 @register_config("pif")
@@ -233,11 +246,11 @@ def _build_pif(profile: FunctionProfile, machine: MachineParams,
                with_jukebox: bool = False) -> SequenceResult:
     """Baseline plus PIF (optionally combined with Jukebox, Fig. 13)."""
     params = params if params is not None else PIFParams()
-    core = LukewarmCore(machine)
-    pif = PIF(params, core.hierarchy)
+    sim = Simulator(machine, backend=cfg.backend)
+    pif = PIF(params, sim.hierarchy)
     if not with_jukebox:
-        core.hierarchy.record_hook = pif
-        return _measure(core, make_traces(profile, cfg), cfg, flush=True,
+        sim.hierarchy.record_hook = pif
+        return _measure(sim, make_traces(profile, cfg), cfg, flush=True,
                         pif=pif)
     # Combined JB + PIF: PIF observes fetches through a forwarding hook
     # while Jukebox owns the L2-miss record stream.
@@ -246,14 +259,14 @@ def _build_pif(profile: FunctionProfile, machine: MachineParams,
     measured: List[InvocationResult] = []
     reports: List[JukeboxInvocationReport] = []
     for i, trace in enumerate(traces):
-        core.flush_microarch_state()
+        sim.flush_microarch_state()
         pif.flush()
-        jukebox.begin_invocation(core.hierarchy)
-        jb_recorder = core.hierarchy.record_hook
-        core.hierarchy.record_hook = _TeeHook(jb_recorder, pif)
-        result = core.run(trace)
-        core.hierarchy.record_hook = jb_recorder
-        report = jukebox.end_invocation(core.hierarchy, result)
+        jukebox.begin_invocation(sim.hierarchy)
+        jb_recorder = sim.hierarchy.record_hook
+        sim.hierarchy.record_hook = _TeeHook(jb_recorder, pif)
+        result = simulate(trace, sim=sim)
+        sim.hierarchy.record_hook = jb_recorder
+        report = jukebox.end_invocation(sim.hierarchy, result)
         if i >= cfg.warmup:
             measured.append(result)
             reports.append(report)

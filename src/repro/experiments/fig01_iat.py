@@ -25,7 +25,8 @@ from repro.experiments.common import (
     register_config,
 )
 from repro.server.stressor import Stressor
-from repro.sim.core import LukewarmCore
+from repro.sim.core import Simulator
+from repro.sim.simulate import simulate
 from repro.sim.params import MachineParams, broadwell
 from repro.workloads.suite import get_profile
 
@@ -50,15 +51,15 @@ def _build_contended(profile, machine: MachineParams, cfg: RunConfig,
     anchor.
     """
     stressor = Stressor(load=load, seed=cfg.seed)
-    core = LukewarmCore(machine)
+    sim = Simulator(machine, backend=cfg.backend)
     measured = []
     for i, trace in enumerate(make_traces(profile, cfg)):
         if iat_ms > 0:
-            stressor.idle_gap(core, iat_ms)
-            stressor.apply_contention(core)
+            stressor.idle_gap(sim, iat_ms)
+            stressor.apply_contention(sim)
         else:
-            stressor.clear_contention(core)
-        result = core.run(trace)
+            stressor.clear_contention(sim)
+        result = simulate(trace, sim=sim)
         if i >= cfg.warmup:
             measured.append(result)
     return SequenceResult(results=measured)

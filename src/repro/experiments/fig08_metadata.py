@@ -17,7 +17,8 @@ from repro.analysis.report import format_table
 from repro.core.recorder import record_miss_stream
 from repro.engine import Job, sweep
 from repro.experiments.common import RunConfig, make_traces, register_config
-from repro.sim.core import LukewarmCore
+from repro.sim.core import Simulator
+from repro.sim.simulate import simulate
 from repro.sim.params import JukeboxParams, MachineParams, skylake
 from repro.units import KB
 from repro.workloads.suite import suite_subset
@@ -39,6 +40,10 @@ class _MissCollector:
     def on_l2_inst_miss(self, vaddr: int, cycle: float) -> None:
         self.misses.append(vaddr)
 
+    #: L1-hit bulk execution cannot reach on_l2_inst_miss, so the
+    #: columnar backend may keep it enabled while collecting misses.
+    fetch_is_noop = True
+
     def on_fetch(self, vaddr: int, cycle: float) -> None:
         pass
 
@@ -47,15 +52,15 @@ class _MissCollector:
 def collect_miss_stream(profile, machine: MachineParams,
                         cfg: RunConfig) -> List[int]:
     """The L2-I miss stream of one lukewarm invocation."""
-    core = LukewarmCore(machine)
+    sim = Simulator(machine, backend=cfg.backend)
     traces = make_traces(profile, cfg)
     collector = _MissCollector()
     for i, trace in enumerate(traces[: cfg.warmup + 1]):
-        core.flush_microarch_state()
+        sim.flush_microarch_state()
         if i == cfg.warmup:
-            core.hierarchy.record_hook = collector
-        core.run(trace)
-    core.hierarchy.record_hook = None
+            sim.hierarchy.record_hook = collector
+        simulate(trace, sim=sim)
+    sim.hierarchy.record_hook = None
     return collector.misses
 
 

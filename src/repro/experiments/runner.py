@@ -55,6 +55,7 @@ from repro.experiments import (
 )
 from repro.experiments.common import RunConfig
 from repro.faults import parse_fault_plan
+from repro.sim.core import BACKENDS
 
 #: Environment variable overriding the default result-cache location.
 CACHE_DIR_ENV = "LUKEWARM_CACHE_DIR"
@@ -151,6 +152,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--functions", nargs="*", default=None,
                         help="restrict to these function abbreviations")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--backend", choices=BACKENDS, default="columnar",
+                        help="simulation backend; both produce byte-"
+                             "identical results, 'scalar' is the slow "
+                             "reference interpreter (default: columnar)")
     parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                         help="simulate up to N cells in parallel "
                              "(default: 1, serial)")
@@ -230,7 +235,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     policy = (engine.FailurePolicy.retrying(retries=args.retries, seed=args.seed)
               if args.retries else None)
     cfg = (RunConfig.fast() if args.fast else RunConfig.full()).replace(
-        seed=args.seed)
+        seed=args.seed, backend=args.backend)
     cache_dir: Optional[Path]
     if args.no_cache:
         cache_dir = None
@@ -245,7 +250,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                           trace_path=args.trace) as ctx:
         for name in names:
             before = ctx.stats.snapshot()
-            started = time.time()
+            started = time.time()  # repro-lint: disable=REPRO006 -- CLI progress reporting, not simulation
             try:
                 report = run_experiment(name, cfg, args.functions)
                 error = None
@@ -255,7 +260,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 report = None
                 error = exc
                 failed.append((name, exc))
-            seconds = time.time() - started
+            seconds = time.time() - started  # repro-lint: disable=REPRO006 -- CLI progress reporting, not simulation
             delta = ctx.stats.since(before)
             if args.as_json:
                 records.append({

@@ -416,7 +416,13 @@ class WallClock(Rule):
     id = "REPRO006"
     severity = "error"
     autofixable = True
-    scopes = ("sim/", "core/", "analysis/", "workloads/", "engine/", "obs/")
+    #: ``server/`` and ``experiments/`` joined the scope with the
+    #: simulate() migration: both now sit directly on the simulation path
+    #: (stressors mutate hierarchy state; experiment builders are the
+    #: engine's memoized cell bodies), so host-clock reads there are just
+    #: as result-corrupting as inside ``sim/``.
+    scopes = ("sim/", "core/", "analysis/", "workloads/", "engine/",
+              "obs/", "server/", "experiments/")
     description = ("wall-clock / nondeterministic call in a simulation "
                    "path; use simulated cycles and sorted listings")
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.sim.core import LukewarmCore
+from repro.sim.core import Simulator
 
 
 class Stressor:
@@ -46,18 +46,18 @@ class Stressor:
 
     # ------------------------------------------------------------------
 
-    def full_thrash(self, core: LukewarmCore) -> None:
+    def full_thrash(self, sim: Simulator) -> None:
         """Obliterate all microarchitectural state (stress-ng regime)."""
-        core.flush_microarch_state()
+        sim.flush_microarch_state()
 
-    def idle_gap(self, core: LukewarmCore, gap_ms: float) -> None:
+    def idle_gap(self, sim: Simulator, gap_ms: float) -> None:
         """Apply the interference accumulated over an idle gap of
         ``gap_ms`` milliseconds at the configured load."""
         if gap_ms < 0:
             raise ConfigurationError(f"gap must be non-negative: {gap_ms}")
         if gap_ms == 0 or self.load == 0:
             return
-        hier = core.hierarchy
+        hier = sim.hierarchy
         unique_blocks = self.UNIQUE_BLOCKS_PER_MS * self.load * gap_ms
 
         if gap_ms >= self.PRIVATE_THRASH_MS:
@@ -66,7 +66,7 @@ class Stressor:
             hier.l2.flush()
             hier.itlb.flush()
             hier.dtlb.flush()
-            core.branches.flush()
+            sim.branches.flush()
         else:
             fraction = gap_ms / self.PRIVATE_THRASH_MS
             hier.l1i.bulk_pollute(
@@ -76,26 +76,26 @@ class Stressor:
             hier.l2.bulk_pollute(
                 int(hier.l2.params.num_lines * 2 * fraction), self._rng)
             if fraction > 0.5:
-                core.branches.flush()
+                sim.branches.flush()
                 hier.itlb.flush()
                 hier.dtlb.flush()
 
         hier.llc.bulk_pollute(int(unique_blocks), self._rng)
 
-    def apply_contention(self, core: LukewarmCore) -> None:
+    def apply_contention(self, sim: Simulator) -> None:
         """Raise the DRAM queueing multiplier for execution under load."""
-        core.hierarchy.memory.contention = 1.0 + self.CONTENTION_SLOPE * self.load
+        sim.hierarchy.memory.contention = 1.0 + self.CONTENTION_SLOPE * self.load
 
-    def clear_contention(self, core: LukewarmCore) -> None:
-        core.hierarchy.memory.contention = 1.0
+    def clear_contention(self, sim: Simulator) -> None:
+        sim.hierarchy.memory.contention = 1.0
 
     # ------------------------------------------------------------------
 
-    def expected_llc_survival(self, core: LukewarmCore, gap_ms: float) -> float:
+    def expected_llc_survival(self, sim: Simulator, gap_ms: float) -> float:
         """Expected fraction of LLC lines surviving a gap (analytic helper
         used in tests): per set, k ~ Poisson(n/sets) insertions evict the k
         least-recently-used lines."""
-        llc = core.hierarchy.llc
+        llc = sim.hierarchy.llc
         lam = self.UNIQUE_BLOCKS_PER_MS * self.load * gap_ms / llc.num_sets
         assoc = llc.assoc
         # E[max(assoc - K, 0)] / assoc with K ~ Poisson(lam).

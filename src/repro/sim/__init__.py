@@ -2,8 +2,8 @@
 analytic core timing model (the gem5 stand-in, DESIGN.md Sec. 1)."""
 
 from repro.sim.cache import SetAssocCache
-from repro.sim.core import InvocationResult, LukewarmCore
-from repro.sim.hierarchy import FillQueue, MemoryHierarchy
+from repro.sim.core import BACKENDS, InvocationResult, LukewarmCore, Simulator
+from repro.sim.hierarchy import FillQueue, MemoryHierarchy, RegionSummaries
 from repro.sim.params import (
     BROADWELL,
     SKYLAKE,
@@ -18,11 +18,13 @@ from repro.sim.params import (
     broadwell,
     skylake,
 )
+from repro.sim.simulate import simulate
 from repro.sim.stats import AccessStats, HierarchyStats, MemoryTraffic
 from repro.sim.topdown import TopDownBreakdown, mean_breakdown
 
 __all__ = [
     "AccessStats",
+    "BACKENDS",
     "BROADWELL",
     "CacheParams",
     "CoreParams",
@@ -37,11 +39,14 @@ __all__ = [
     "MemoryHierarchy",
     "MODE_CHARACTERIZATION",
     "MODE_EVALUATION",
+    "RegionSummaries",
     "SKYLAKE",
     "SetAssocCache",
+    "Simulator",
     "TLBParams",
     "TopDownBreakdown",
     "broadwell",
     "mean_breakdown",
+    "simulate",
     "skylake",
 ]

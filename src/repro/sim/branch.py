@@ -193,7 +193,8 @@ class BTB:
         return False
 
     def flush(self) -> None:
-        self._sets = [[] for _ in range(self.num_sets)]
+        for lru in filter(None, self._sets):
+            del lru[:]
 
     def reset_stats(self) -> None:
         self.lookups = 0

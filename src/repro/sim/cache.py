@@ -17,7 +17,7 @@ Two pollution primitives support the interleaving experiments:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -27,6 +27,34 @@ from repro.sim.params import CacheParams
 #: Tag bit used to mark synthetic pollution lines so they can never collide
 #: with real (48-bit virtual address) blocks.
 _POLLUTION_BIT = 1 << 60
+
+
+class GroupPlan:
+    """Per-set grouping of a block pattern for one cache geometry.
+
+    Wraps the ``set_groups`` result with the two derived facts the bulk
+    paths exploit: ``flat`` is a ``[(set_index, block), ...]`` list when
+    every group is a singleton (the overwhelmingly common case -- a short
+    pattern spread across many sets), letting :meth:`SetAssocCache.\
+bulk_reorder` and :meth:`SetAssocCache.bulk_insert_new` skip the general
+    per-group machinery; ``max_group`` bounds how many pattern blocks
+    share one set, which callers compare against ``assoc`` to prove that
+    a bulk insert left *every* pattern block resident.
+    """
+
+    __slots__ = ("groups", "flat", "max_group")
+
+    def __init__(self, groups: List[Tuple[int, List[int], frozenset]]) -> None:
+        self.groups = groups
+        max_group = 0
+        for _idx, ordered, _members in groups:
+            if len(ordered) > max_group:
+                max_group = len(ordered)
+        self.max_group = max_group
+        self.flat: Optional[List[Tuple[int, int]]] = None
+        if max_group <= 1:
+            self.flat = [(set_idx, ordered[0])
+                         for set_idx, ordered, _members in groups]
 
 
 class SetAssocCache:
@@ -41,6 +69,11 @@ class SetAssocCache:
         self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
         #: Blocks installed by a prefetcher and not yet demand-referenced.
         self._pf_pending: Set[int] = set()
+        #: O(1) residency index mirroring the union of all set lists.
+        #: Tags are full block ids (not per-set tags), so a block is
+        #: resident in the cache iff it is in this set.  Every membership
+        #: mutation below maintains it; LRU reordering does not touch it.
+        self._resident: Set[int] = set()
         self._pollution_seq = 0
 
     # ------------------------------------------------------------------
@@ -68,7 +101,7 @@ class SetAssocCache:
 
     def contains(self, block: int) -> bool:
         """Return True if ``block`` is resident (no LRU side effects)."""
-        return block in self._sets[block & self._set_mask]
+        return block in self._resident
 
     def insert(self, block: int, prefetch: bool = False) -> Tuple[Optional[int], bool]:
         """Install ``block`` as the MRU line of its set.
@@ -89,13 +122,143 @@ class SetAssocCache:
             return None, False
         if len(lru) >= self.assoc:
             evicted = lru.pop(0)
+            self._resident.discard(evicted)
             if evicted in self._pf_pending:
                 self._pf_pending.discard(evicted)
                 evicted_unused = True
         lru.append(block)
+        self._resident.add(block)
         if prefetch:
             self._pf_pending.add(block)
         return evicted, evicted_unused
+
+    # ------------------------------------------------------------------
+    # Bulk operations for the columnar backend (repro.sim.batch)
+    #
+    # Each bulk method is the exact aggregate of a sequence of the scalar
+    # operations above: the batch interpreter proves the preconditions
+    # (residency, distinctness, prefetch-flag disjointness) *before*
+    # calling, and the per-set effect is computed in one pass instead of
+    # one lookup()/insert() per event.  Sets are independent, so applying
+    # the per-set aggregate preserves the event-order semantics bit for
+    # bit.
+    # ------------------------------------------------------------------
+
+    def set_groups(self, blocks: Sequence[int]) -> List[Tuple[int, List[int], frozenset]]:
+        """Group ``blocks`` (kept in order) by the set they map to.
+
+        Returns ``[(set_index, blocks_in_order, block_set), ...]`` -- the
+        shape both bulk operations consume.  Group order follows first
+        occurrence, so the result is deterministic for a given input.
+        """
+        mask = self._set_mask
+        grouped: "dict[int, List[int]]" = {}
+        for block in blocks:
+            grouped.setdefault(block & mask, []).append(block)
+        return [(set_idx, members, frozenset(members))
+                for set_idx, members in grouped.items()]
+
+    def bulk_reorder(self, plan: "GroupPlan") -> None:
+        """Aggregate LRU effect of demand-hitting every planned block.
+
+        Equivalent to calling :meth:`lookup` once per block in access
+        order, provided every block is resident and none carries a pending
+        prefetch flag: untouched lines keep their relative order at the
+        LRU end, touched lines move to the MRU end in last-access order
+        (which is the order the plan carries them in).
+        """
+        sets = self._sets
+        if plan.flat is not None:
+            # Singleton groups: the lookup() LRU move, directly.
+            for set_idx, block in plan.flat:
+                lru = sets[set_idx]
+                if lru[-1] != block:
+                    lru.remove(block)
+                    lru.append(block)
+            return None
+        for set_idx, ordered, members in plan.groups:
+            lru = sets[set_idx]
+            if len(lru) == len(ordered):
+                lru[:] = ordered
+            else:
+                lru[:] = [b for b in lru if b not in members] + ordered
+        return None
+
+    def bulk_insert_new(self, plan: "GroupPlan") -> int:
+        """Aggregate effect of demand-inserting absent, distinct blocks.
+
+        Equivalent to calling ``insert(block)`` once per block in order
+        when no block is currently resident.  Returns the number of
+        evicted lines that were unused prefetches (the only eviction
+        consequence the scalar paths account).
+        """
+        sets = self._sets
+        assoc = self.assoc
+        pf_pending = self._pf_pending
+        resident = self._resident
+        evicted_unused = 0
+        if not pf_pending:
+            # No pending prefetch flags anywhere: the insert sequence is a
+            # pure bounded queue -- the final set content is the last
+            # ``assoc`` elements of (old LRU order + insertions) and no
+            # eviction can be an unused prefetch.
+            if plan.flat is not None:
+                for set_idx, block in plan.flat:
+                    lru = sets[set_idx]
+                    if len(lru) >= assoc:
+                        resident.discard(lru[0])
+                        del lru[0]
+                    lru.append(block)
+                    resident.add(block)
+                return 0
+            for set_idx, ordered, _members in plan.groups:
+                lru = sets[set_idx]
+                overflow = len(lru) + len(ordered) - assoc
+                if overflow > 0:
+                    if overflow >= len(lru):
+                        # The whole old content -- and the first inserted
+                        # blocks, which never survive the sequence -- are
+                        # evicted; only the tail of ``ordered`` remains.
+                        resident.difference_update(lru)
+                        lru[:] = ordered[overflow - len(lru):]
+                        resident.update(lru)
+                        continue
+                    resident.difference_update(lru[:overflow])
+                    del lru[:overflow]
+                lru.extend(ordered)
+                resident.update(ordered)
+            return 0
+        for set_idx, ordered, _members in plan.groups:
+            lru = sets[set_idx]
+            if len(lru) + len(ordered) <= assoc:
+                # No evictions possible: appending in order is the whole
+                # effect of the insert sequence.
+                lru.extend(ordered)
+                resident.update(ordered)
+                continue
+            for block in ordered:
+                if len(lru) >= assoc:
+                    victim = lru.pop(0)
+                    resident.discard(victim)
+                    if victim in pf_pending:
+                        pf_pending.discard(victim)
+                        evicted_unused += 1
+                lru.append(block)
+                resident.add(block)
+        return evicted_unused
+
+    def contains_all(self, blocks: Sequence[int]) -> bool:
+        """True when every block is resident (no LRU side effects)."""
+        return self._resident.issuperset(blocks)
+
+    def contains_none(self, blocks: Sequence[int]) -> bool:
+        """True when no block is resident (no LRU side effects)."""
+        return self._resident.isdisjoint(blocks)
+
+    def pf_disjoint(self, blocks: frozenset) -> bool:
+        """True when no block carries a pending prefetch flag."""
+        pf = self._pf_pending
+        return not pf or pf.isdisjoint(blocks)
 
     def invalidate_unused_prefetches(self) -> int:
         """Invalidate every resident prefetched-but-unreferenced line.
@@ -109,6 +272,7 @@ class SetAssocCache:
             lru = self._sets[block & self._set_mask]
             if block in lru:
                 lru.remove(block)
+                self._resident.discard(block)
                 dropped += 1
         self._pf_pending.clear()
         return dropped
@@ -126,6 +290,7 @@ class SetAssocCache:
         lru = self._sets[block & self._set_mask]
         if block in lru:
             lru.remove(block)
+            self._resident.discard(block)
             self._pf_pending.discard(block)
             return True
         return False
@@ -133,9 +298,17 @@ class SetAssocCache:
     def flush(self) -> int:
         """Invalidate every line.  Returns the number of lines dropped."""
         self.check_invariants()
-        dropped = sum(len(lru) for lru in self._sets)
-        self._sets = [[] for _ in range(self.num_sets)]
+        dropped = sum(map(len, self._sets))
+        if dropped:
+            # Clear in place (iterating only the non-empty sets via the
+            # C-level filter) rather than reallocating num_sets lists:
+            # large caches are mostly empty at flush time, and in-place
+            # clearing keeps any outstanding aliases to the set lists
+            # valid.
+            for lru in filter(None, self._sets):
+                del lru[:]
         self._pf_pending.clear()
+        self._resident.clear()
         return dropped
 
     def check_invariants(self, deep: bool = False) -> None:
@@ -150,13 +323,15 @@ class SetAssocCache:
         if not contracts.enabled():
             return
         name = self.params.name
-        occupancy = 0
-        for set_idx, lru in enumerate(self._sets):
-            occupancy += len(lru)
+        # C-speed scan; the per-set message is only built on violation.
+        lens = list(map(len, self._sets))
+        occupancy = sum(lens)
+        if lens and max(lens) > self.assoc:
+            set_idx = next(i for i, n in enumerate(lens) if n > self.assoc)
             contracts.check(
-                len(lru) <= self.assoc,
-                f"{name}: set {set_idx} holds {len(lru)} lines but is only "
-                f"{self.assoc}-way",
+                False,
+                f"{name}: set {set_idx} holds {lens[set_idx]} lines but is "
+                f"only {self.assoc}-way",
             )
         contracts.check(
             len(self._pf_pending) <= occupancy,
@@ -164,6 +339,9 @@ class SetAssocCache:
             f"exceed the {occupancy} resident lines",
         )
         if deep:
+            # Duplicate/misplaced-tag checks come first: a duplicate also
+            # desyncs the residency index, and the root cause is the more
+            # actionable diagnosis.
             for set_idx, lru in enumerate(self._sets):
                 contracts.check(
                     len(set(lru)) == len(lru),
@@ -175,9 +353,21 @@ class SetAssocCache:
                         f"{name}: block {block:#x} resident in set {set_idx} "
                         f"but maps to set {block & self._set_mask}",
                     )
-            resident = self.resident_blocks()
+        contracts.check(
+            len(self._resident) == occupancy,
+            f"{name}: residency index holds {len(self._resident)} tags "
+            f"for {occupancy} resident lines",
+        )
+        if deep:
+            actual: Set[int] = set()
+            for lru in self._sets:
+                actual.update(lru)
             contracts.check(
-                self._pf_pending <= resident,
+                actual == self._resident,
+                f"{name}: residency index out of sync with the set lists",
+            )
+            contracts.check(
+                self._pf_pending <= actual,
                 f"{name}: prefetch-pending ledger references evicted lines",
             )
 
@@ -225,11 +415,13 @@ class SetAssocCache:
             for _ in range(k):
                 if len(lru) >= assoc:
                     victim = lru.pop(0)
+                    self._resident.discard(victim)
                     if victim in self._pf_pending:
                         self._pf_pending.discard(victim)
                 self._pollution_seq += 1
                 fake = _POLLUTION_BIT | (self._pollution_seq << 12) | set_idx
                 lru.append(fake)
+                self._resident.add(fake)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -247,10 +439,7 @@ class SetAssocCache:
 
     def resident_blocks(self) -> Set[int]:
         """The set of resident block tags (synthetic pollution included)."""
-        resident: Set[int] = set()
-        for lru in self._sets:
-            resident.update(lru)
-        return resident
+        return set(self._resident)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

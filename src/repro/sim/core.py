@@ -1,6 +1,6 @@
 """The analytic core timing model.
 
-:class:`LukewarmCore` executes an :class:`repro.workloads.trace.InvocationTrace`
+:class:`Simulator` executes an :class:`repro.workloads.trace.InvocationTrace`
 against a :class:`repro.sim.hierarchy.MemoryHierarchy`, charging cycles to
 Top-Down categories (DESIGN.md Sec. 3):
 
@@ -17,14 +17,29 @@ out-of-order pipeline; overlap between misses and execution is captured by
 the per-class stall factors in :class:`repro.sim.params.CoreParams`, which
 are calibrated against the paper's reported aggregates (see DESIGN.md
 Sec. 5 and EXPERIMENTS.md).
+
+Two execution backends share this model (DESIGN.md Sec. 12):
+
+* ``"scalar"`` -- the event-at-a-time reference interpreter in
+  :meth:`Simulator._run_scalar`;
+* ``"columnar"`` -- the vectorized interpreter in :mod:`repro.sim.batch`,
+  which consumes the trace's columnar IR and is required to reproduce the
+  scalar results *bit for bit* (enforced by the differential battery).
+
+Prefer the :func:`repro.sim.simulate` facade over constructing a
+:class:`Simulator` directly.  The historical ``LukewarmCore`` name
+survives as a deprecated alias pinned to the scalar backend.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.errors import ConfigurationError
 from repro.lint import contracts
+from repro.sim import batch
 from repro.sim.branch import BTB, SiteBranchModel
 from repro.sim.hierarchy import MemoryHierarchy
 from repro.sim.params import MachineParams
@@ -64,11 +79,28 @@ class InvocationResult:
         return self.stats.levels()[level].mpki(self.instructions, kind)
 
 
-class LukewarmCore:
-    """Single-core analytic model with pluggable prefetchers."""
+#: Valid values of ``Simulator(backend=...)`` / ``RunConfig.backend``.
+BACKENDS = ("columnar", "scalar")
+
+
+class Simulator:
+    """Single-core analytic model with pluggable prefetchers.
+
+    ``backend`` selects the execution strategy: ``"columnar"`` (default)
+    runs the vectorized interpreter over the trace's columnar IR,
+    ``"scalar"`` runs the event-at-a-time reference.  Both produce
+    byte-identical results and state by contract.
+    """
 
     def __init__(self, machine: MachineParams,
-                 hierarchy: Optional[MemoryHierarchy] = None) -> None:
+                 hierarchy: Optional[MemoryHierarchy] = None,
+                 backend: str = "columnar") -> None:
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown simulation backend {backend!r}; "
+                f"expected one of {', '.join(BACKENDS)}"
+            )
+        self.backend = backend
         self.machine = machine
         self.hierarchy = hierarchy if hierarchy is not None else MemoryHierarchy(machine)
         self.btb = BTB(machine.core)
@@ -92,6 +124,19 @@ class LukewarmCore:
 
         ``start_cycle`` offsets simulated time (used when a replayed
         prefetch schedule was computed relative to the invocation start).
+        Dispatches to the configured backend.
+        """
+        if self.backend == "columnar":
+            return batch.run_columnar(self, trace, start_cycle)
+        return self._run_scalar(trace, start_cycle)
+
+    def _run_scalar(self, trace: InvocationTrace,
+                    start_cycle: float = 0.0) -> InvocationResult:
+        """The event-at-a-time reference interpreter.
+
+        This loop *defines* the model's semantics; the columnar backend
+        must reproduce it bit for bit and falls back to the same hierarchy
+        methods wherever a bulk precondition does not hold.
         """
         hier = self.hierarchy
         td = TopDownBreakdown()
@@ -197,3 +242,20 @@ class LukewarmCore:
                 td.fetch_latency += steady
                 cycle += steady
         return cycle
+
+
+class LukewarmCore(Simulator):
+    """Deprecated alias of :class:`Simulator`, pinned to the scalar
+    backend (the behaviour every pre-redesign caller observed).
+
+    Use :func:`repro.sim.simulate` -- or :class:`Simulator` when you need
+    to hold warm state across invocations -- instead.
+    """
+
+    def __init__(self, machine: MachineParams,
+                 hierarchy: Optional[MemoryHierarchy] = None) -> None:
+        warnings.warn(
+            "LukewarmCore is deprecated; use repro.sim.simulate() or "
+            "repro.sim.Simulator(machine, backend=...) instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(machine, hierarchy, backend="scalar")

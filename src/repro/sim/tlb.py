@@ -55,8 +55,9 @@ class TLB:
         return False
 
     def flush(self) -> None:
-        """Invalidate all translations."""
-        self._sets = [[] for _ in range(self.num_sets)]
+        """Invalidate all translations (in place, so aliases stay valid)."""
+        for lru in filter(None, self._sets):
+            del lru[:]
 
     @property
     def occupancy(self) -> int:

@@ -18,7 +18,7 @@ Event kinds:
     An aggregate of ``arg`` dynamic executions of the *conditional branch
     site* at ``addr`` whose taken probability is ``arg2``/255.  Direction
     mispredicts are modeled analytically per site (see
-    :class:`repro.sim.core.LukewarmCore`).
+    :class:`repro.sim.core.Simulator`).
 ``LOOP``
     ``arg`` = loop id into :attr:`InvocationTrace.loops`.  The loop body is
     simulated through the hierarchy once; remaining iterations are charged
@@ -32,12 +32,12 @@ the paper's results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import TraceError
-from repro.units import LINE_SIZE, block_addr
+from repro.units import LINE_SHIFT, LINE_SIZE, PAGE_SHIFT, block_addr
 
 IFETCH = 0
 LOAD = 1
@@ -90,11 +90,23 @@ class InvocationTrace:
     args: np.ndarray
     args2: np.ndarray
     loops: List[LoopSpec] = field(default_factory=list)
+    #: Lazily built columnar IR (see :meth:`columnar`); not part of the
+    #: constructor so existing call sites are unaffected.
+    _columnar: "Optional[ColumnarTrace]" = field(default=None, init=False,
+                                                 repr=False)
 
     def __post_init__(self) -> None:
         n = len(self.kinds)
         if not (len(self.addrs) == len(self.args) == len(self.args2) == n):
             raise TraceError("trace arrays must have equal length")
+
+    def columnar(self) -> "ColumnarTrace":
+        """The columnar IR of this trace, built once and cached on the
+        trace object (never in module state, so sweeps stay deterministic
+        and workers stay independent)."""
+        if self._columnar is None:
+            self._columnar = ColumnarTrace.from_trace(self)
+        return self._columnar
 
     def __len__(self) -> int:
         return len(self.kinds)
@@ -129,6 +141,305 @@ class InvocationTrace:
         for i in range(len(self.kinds)):
             yield (int(self.kinds[i]), int(self.addrs[i]),
                    int(self.args[i]), int(self.args2[i]))
+
+
+#: Op tags of the columnar program (first element of each ``ops`` entry).
+OP_WALKS = 0   #: ``(OP_WALKS, start, end, period, WalkPattern)``
+OP_EVENTS = 1  #: ``(OP_EVENTS, start, end)`` -- heterogeneous scalar span
+
+
+class WalkPattern:
+    """One period of a repeated instruction-block walk.
+
+    ``FunctionModel._walk_segment`` visits the same block sequence
+    ``visits`` times back-to-back, so a maximal IFETCH run decomposes into
+    ``n`` repetitions of a short pattern.  The pattern carries exactly the
+    machine-independent derived data the batch interpreter needs to
+    classify and bulk-execute a walk: block numbers, the deduplicated
+    last-access order (the LRU order a full pass leaves behind), and the
+    page-level run-length encoding driving I-TLB accounting.
+    """
+
+    __slots__ = ("addrs", "blocks", "block_set", "unique_last",
+                 "all_distinct", "page_runs", "key", "groups_cache",
+                 "_tlb_fits")
+
+    def __init__(self, addrs: Sequence[int]) -> None:
+        #: Per-set-geometry block groupings, keyed by set mask (filled by
+        #: :class:`repro.sim.hierarchy.RegionSummaries`).  The grouping is
+        #: a pure function of (blocks, mask), so caching on the pattern is
+        #: sound for any cache with that mask.
+        self.groups_cache: Dict[int, object] = {}
+        #: Memoized :meth:`itlb_fits` verdicts keyed by TLB geometry.
+        self._tlb_fits: Dict[Tuple[int, int], bool] = {}
+        self.addrs: Tuple[int, ...] = tuple(int(a) for a in addrs)
+        self.blocks: Tuple[int, ...] = tuple(a >> LINE_SHIFT for a in self.addrs)
+        self.key = self.blocks
+        self.block_set = frozenset(self.blocks)
+        # Deduplicate keeping the *last* occurrence: after one pass, the
+        # LRU order of the touched blocks is their last-access order.
+        seen: Dict[int, None] = {}
+        for b in self.blocks:
+            if b in seen:
+                del seen[b]
+            seen[b] = None
+        self.unique_last: Tuple[int, ...] = tuple(seen)
+        self.all_distinct = len(self.block_set) == len(self.blocks)
+        runs: List[Tuple[int, int, int]] = []
+        for off, addr in enumerate(self.addrs):
+            page = addr >> PAGE_SHIFT
+            if runs and runs[-1][1] == page:
+                start, _, length = runs[-1]
+                runs[-1] = (start, page, length + 1)
+            else:
+                runs.append((off, page, 1))
+        self.page_runs: Tuple[Tuple[int, int, int], ...] = tuple(runs)
+
+    def itlb_fits(self, set_mask: int, assoc: int) -> bool:
+        """True when no TLB set holds more than ``assoc`` of this
+        pattern's distinct pages.
+
+        Under that bound, one full walk leaves every pattern page
+        resident: a page touched earlier in the walk sits at the MRU end
+        of its set, so later insertions within the same walk can only
+        evict *other* pages.  Repeat walks of the pattern are then
+        guaranteed all-hits with an unchanged final LRU order (the same
+        access sequence reproduces the same MRU ordering), which is what
+        lets the columnar backend fold them without touching the TLB.
+        """
+        key = (set_mask, assoc)
+        ok = self._tlb_fits.get(key)
+        if ok is None:
+            per_set: Dict[int, int] = {}
+            for page in {p for _off, p, _len in self.page_runs}:
+                idx = page & set_mask
+                per_set[idx] = per_set.get(idx, 0) + 1
+            ok = not per_set or max(per_set.values()) <= assoc
+            self._tlb_fits[key] = ok
+        return ok
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+class MachineColumns:
+    """Per-event float columns and precomputed totals for one core geometry.
+
+    ``retire[i] = args[i] / width`` and ``fb[i] = args2[i] * taken_penalty``
+    are elementwise copies of the scalar interpreter's per-event operations;
+    ``step0 = retire + fb`` is the cycle step of a stall-free fetch.  The
+    ``*_list`` views are plain-``float`` copies for the interpreter's
+    small-chunk Python loops (indexing a list avoids per-element
+    ``np.float64`` boxing).
+
+    ``ret_final`` / ``fb_final`` are the invocation totals of the
+    ``retiring`` and ``fetch_bandwidth`` Top-Down accumulators.  Both
+    receive *state-independent* add sequences in the scalar interpreter --
+    every IFETCH adds ``args[i]/width`` (resp. ``args2[i]*taken_penalty``)
+    and every LOOP adds fixed per-spec values, none of which depend on
+    cache or predictor state -- so the exact left fold is computed here
+    once per (trace, machine) with ``np.add.accumulate`` (a strict
+    sequential fold, bitwise-identical to the scalar ``+=`` loop).
+    """
+
+    __slots__ = ("retire", "fb", "step0", "retire_list", "fb_list",
+                 "step0_list", "ret_final", "fb_final", "_stall_steps")
+
+    def __init__(self, ct: "ColumnarTrace", width: int,
+                 taken_penalty: float) -> None:
+        self.retire = ct.args / width
+        self.fb = ct.args2 * taken_penalty
+        self.step0 = self.retire + self.fb
+        self.retire_list = self.retire.tolist()
+        self.fb_list = self.fb.tolist()
+        self.step0_list = self.step0.tolist()
+        self._stall_steps: Dict[float, list] = {}
+        self.ret_final, self.fb_final = self._fold_totals(
+            ct, width, taken_penalty)
+
+    def stall_steps(self, stall: float) -> list:
+        """Per-event cycle steps under a constant stall: element ``k`` is
+        ``(stall + retire[k]) + fb[k]`` -- the scalar interpreter's exact
+        operation order, computed elementwise (each NumPy op is correctly
+        rounded, so every element matches the scalar float bit for bit).
+        Cached per stall constant; constants depend on machine factors and
+        the per-run memory contention, giving a handful of keys."""
+        steps = self._stall_steps.get(stall)
+        if steps is None:
+            if len(self._stall_steps) >= 8:  # bound growth under
+                self._stall_steps.clear()    # per-cell contention sweeps
+            steps = ((stall + self.retire) + self.fb).tolist()
+            self._stall_steps[stall] = steps
+        return steps
+
+    def _fold_totals(self, ct: "ColumnarTrace", width: int,
+                     taken_penalty: float) -> Tuple[float, float]:
+        if_idx = ct.ifetch_idx
+        retire_if = self.retire[if_idx]
+        fb_if = self.fb[if_idx]
+        # The leading 0.0 seeds the fold at the accumulator's start value.
+        zero = np.zeros(1)
+        if len(ct.loop_idx) == 0:
+            pieces_r = [zero, retire_if]
+            pieces_f = [zero, fb_if]
+        else:
+            # Splice each loop's contributions into the IFETCH sequence at
+            # its event position, replaying _run_loop's adds exactly.
+            pieces_r = [zero]
+            pieces_f = [zero]
+            args = ct.args
+            prev = 0
+            for li in ct.loop_idx.tolist():
+                a = np.searchsorted(if_idx, prev)
+                b = np.searchsorted(if_idx, li)
+                pieces_r.append(retire_if[a:b])
+                pieces_f.append(fb_if[a:b])
+                spec = ct.loops[int(args[li])]
+                n_blocks = len(spec.blocks)
+                insts_per_block = max(1.0, spec.insts_per_iteration / n_blocks)
+                pieces_r.append(np.full(n_blocks, insts_per_block / width))
+                remaining = spec.iterations - 1
+                if remaining > 0:
+                    pieces_r.append(np.array(
+                        [remaining * spec.insts_per_iteration / width]))
+                    pieces_f.append(np.array(
+                        [remaining * spec.branches_per_iteration
+                         * taken_penalty]))
+                prev = li
+            a = np.searchsorted(if_idx, prev)
+            pieces_r.append(retire_if[a:])
+            pieces_f.append(fb_if[a:])
+        ret_final = float(np.add.accumulate(np.concatenate(pieces_r))[-1])
+        fb_final = float(np.add.accumulate(np.concatenate(pieces_f))[-1])
+        return ret_final, fb_final
+
+
+def _find_period(addrs: np.ndarray, max_candidates: int = 4) -> int:
+    """Smallest period ``p`` such that the run is whole repetitions of its
+    first ``p`` elements, or ``len(addrs)`` when it is not periodic.
+
+    Candidates are the first few recurrences of the leading address; each
+    is verified exactly with a shifted-equality check, so a wrong guess can
+    never be returned.
+    """
+    n = len(addrs)
+    candidates = np.nonzero(addrs == addrs[0])[0]
+    for p in candidates[1:1 + max_candidates]:
+        p = int(p)
+        if n % p == 0 and np.array_equal(addrs[p:], addrs[:-p]):
+            return p
+    return n
+
+
+@dataclass(eq=False)
+class ColumnarTrace:
+    """Columnar IR of one :class:`InvocationTrace`.
+
+    Parallel columns (event kind / block / page / region id / arg / arg2)
+    plus a decoded *op program* that run-length-encodes repeated block
+    walks: the batch interpreter in :mod:`repro.sim.batch` consumes ops,
+    not events, and charges whole walks at a time.  Everything here is a
+    pure function of the trace -- machine-dependent float columns are
+    cached per ``(issue width, taken-branch penalty)`` on first use.
+
+    Built once per trace via :meth:`InvocationTrace.columnar`.
+    """
+
+    #: The originating trace (loops table and event arrays are shared).
+    kinds: np.ndarray
+    addrs: np.ndarray
+    args: np.ndarray
+    args2: np.ndarray
+    #: Cache-block and page number per event (valid for memory events).
+    blocks: np.ndarray
+    pages: np.ndarray
+    #: Region id per event: the index of the op covering the event.
+    regions: np.ndarray
+    #: Decoded op program (``OP_WALKS`` / ``OP_EVENTS`` tuples).
+    ops: List[tuple]
+    loops: List[LoopSpec]
+    #: Plain-int copies of the columns for the scalar fallback paths
+    #: (indexing a Python list returns ``int``, not ``np.int64``).
+    kinds_list: List[int]
+    addrs_list: List[int]
+    args_list: List[int]
+    args2_list: List[int]
+    blocks_list: List[int]
+    pages_list: List[int]
+    #: Event indices of IFETCH / LOOP events (machine-total splicing).
+    ifetch_idx: np.ndarray
+    loop_idx: np.ndarray
+    #: Instructions retired by the invocation (= the exact integer total
+    #: the scalar interpreter accumulates event by event).
+    instr_total: int
+    _machine_columns: Dict[Tuple[float, float], MachineColumns] = field(
+        default_factory=dict, repr=False)
+    _branch_steady: Dict[float, list] = field(default_factory=dict,
+                                              repr=False)
+
+    def branch_steady(self, correlation_factor: float) -> list:
+        """Per-event steady-state mispredict rate: element ``i`` is
+        ``2.0 * p * (1.0 - p) * correlation_factor`` with
+        ``p = args2[i] / 255.0`` -- the branch model's exact operation
+        order, computed elementwise (each NumPy op is correctly rounded,
+        so every element matches the scalar float bit for bit).  Only
+        meaningful at BRANCH positions; cached per correlation factor."""
+        col = self._branch_steady.get(correlation_factor)
+        if col is None:
+            p = self.args2 / 255.0
+            col = (2.0 * p * (1.0 - p) * correlation_factor).tolist()
+            self._branch_steady[correlation_factor] = col
+        return col
+
+    @classmethod
+    def from_trace(cls, trace: "InvocationTrace") -> "ColumnarTrace":
+        kinds = trace.kinds
+        addrs = trace.addrs
+        n = len(kinds)
+        blocks = addrs >> LINE_SHIFT
+        pages = addrs >> PAGE_SHIFT
+        regions = np.empty(n, dtype=np.int32)
+        ops: List[tuple] = []
+        is_fetch = kinds == IFETCH
+        # Boundaries of maximal IFETCH runs.
+        flips = np.nonzero(np.diff(is_fetch.astype(np.int8)))[0] + 1
+        bounds = [0, *flips.tolist(), n]
+        for idx in range(len(bounds) - 1):
+            start, end = bounds[idx], bounds[idx + 1]
+            if start == end:
+                continue
+            if is_fetch[start]:
+                run = addrs[start:end]
+                period = _find_period(run)
+                pattern = WalkPattern(run[:period].tolist())
+                ops.append((OP_WALKS, start, end, period, pattern))
+            else:
+                ops.append((OP_EVENTS, start, end))
+            regions[start:end] = len(ops) - 1
+        return cls(
+            kinds=kinds, addrs=addrs, args=trace.args, args2=trace.args2,
+            blocks=blocks, pages=pages, regions=regions, ops=ops,
+            loops=trace.loops,
+            kinds_list=kinds.tolist(), addrs_list=addrs.tolist(),
+            args_list=trace.args.tolist(), args2_list=trace.args2.tolist(),
+            blocks_list=blocks.tolist(), pages_list=pages.tolist(),
+            ifetch_idx=np.nonzero(is_fetch)[0],
+            loop_idx=np.nonzero(kinds == LOOP)[0],
+            instr_total=trace.total_instructions,
+        )
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def machine_columns(self, width: int,
+                        taken_penalty: float) -> MachineColumns:
+        """The :class:`MachineColumns` for one core geometry, cached."""
+        key = (width, taken_penalty)
+        cols = self._machine_columns.get(key)
+        if cols is None:
+            cols = MachineColumns(self, width, taken_penalty)
+            self._machine_columns[key] = cols
+        return cols
 
 
 class TraceBuilder:

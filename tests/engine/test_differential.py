@@ -72,3 +72,31 @@ def test_pool_after_fault_with_cache_matches_serial(serial_bytes, tmp_path):
                    policy=FailurePolicy.retrying(retries=1)):
         combined = canonical(sweep(grid_jobs()))
     assert combined == serial_bytes
+
+
+def test_backends_never_share_cache_entries(tmp_path):
+    """A columnar-keyed sweep must not warm the cache for a scalar-keyed
+    one (the stale-cache regression for the backend field) -- while both
+    still produce byte-identical payloads."""
+    profile = suite_subset(["Auth-G"])[0]
+    machine_cfg = RunConfig(invocations=2, warmup=1, seed=3,
+                            instruction_scale=0.05)
+    from repro.sim.params import skylake
+
+    from repro.engine.job import canonicalize
+
+    def jobs(backend):
+        return [Job.make(profile, skylake(),
+                         machine_cfg.replace(backend=backend), "baseline")]
+
+    def run(backend):
+        return canonical([canonicalize(r) for r in sweep(jobs(backend))])
+
+    with configure(cache_dir=tmp_path / "cache") as ctx:
+        columnar = run("columnar")
+        assert ctx.stats.hits == 0
+        scalar = run("scalar")
+        assert ctx.stats.hits == 0  # scalar key missed the columnar entry
+        again = run("scalar")
+        assert ctx.stats.hits == 1  # same-backend re-run does hit
+    assert columnar == scalar == again

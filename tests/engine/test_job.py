@@ -92,6 +92,28 @@ class TestKeySensitivity:
         b = _job(provider="repro.experiments.fig01_iat")
         assert a.key() != b.key()
 
+    def test_backend_changes_key(self):
+        """Backends are bit-identical *by contract*, but the contract is
+        enforced, not assumed: a columnar result must never satisfy a
+        scalar request from the cache (or vice versa), or a backend bug
+        would be unfalsifiable through the engine."""
+        columnar = _job(cfg=CFG.replace(backend="columnar"))
+        scalar = _job(cfg=CFG.replace(backend="scalar"))
+        assert columnar.key() != scalar.key()
+
+    def test_schema_v2_guards_pre_backend_caches(self):
+        """Stale-cache regression: RunConfig grew ``backend`` in schema
+        v2, so any result memoized under schema v1 (whose canonical cfg
+        lacked the field) must be unreachable from current keys."""
+        from repro.engine.job import SCHEMA_VERSION, fingerprint
+
+        assert SCHEMA_VERSION == 2
+        # A v1-era canonical cfg (no backend field) must not collide with
+        # today's encoding of the same logical configuration.
+        v2 = canonicalize(CFG)
+        v1 = {k: v for k, v in v2.items() if k != "backend"}
+        assert fingerprint(v1) != fingerprint(v2)
+
 
 class TestCanonicalize:
     def test_dataclass_tagged_with_classname(self):

@@ -53,6 +53,16 @@ class TestParser:
         assert args.fast
         assert args.seed == 3
 
+    def test_backend_flag(self):
+        args = build_parser().parse_args(["fig10", "--backend", "scalar"])
+        assert args.backend == "scalar"
+        assert build_parser().parse_args(["fig10"]).backend == "columnar"
+
+    def test_backend_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig10", "--backend", "gpu"])
+        assert "scalar" in capsys.readouterr().err
+
     def test_functions_filter(self):
         args = build_parser().parse_args(
             ["fig10", "--functions", "Auth-G", "Pay-N"])

@@ -17,7 +17,7 @@ from repro.experiments.common import (
     run_perfect_icache,
     run_reference,
 )
-from repro.sim.core import LukewarmCore
+from repro.sim.core import Simulator
 from repro.sim.params import JukeboxParams, broadwell, skylake
 from repro.units import KB
 from repro.workloads.suite import get_profile
@@ -137,7 +137,7 @@ class TestRecordReplayStability:
         profile = get_profile("Auth-G")
         cfg = RunConfig(invocations=6, warmup=1, instruction_scale=0.35)
         m = skylake()
-        core = LukewarmCore(m)
+        core = Simulator(m)
         jb = Jukebox(JukeboxParams())
         traces = make_traces(profile, cfg)
         cycles = []

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.jukebox import Jukebox
 from repro.errors import SimulationError
-from repro.sim.core import LukewarmCore
+from repro.sim.core import Simulator
 from repro.sim.params import JukeboxParams, skylake
 from repro.units import KB
 
@@ -21,14 +21,14 @@ def run_lukewarm_sequence(core, jukebox, traces):
 
 class TestLifecycle:
     def test_first_invocation_has_no_replay(self, tiny_traces):
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         jb = Jukebox(JukeboxParams())
         stats = jb.begin_invocation(core.hierarchy)
         assert stats.lines_prefetched == 0
         assert not jb.has_replay_metadata
 
     def test_second_invocation_replays_first_recording(self, tiny_traces):
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         jb = Jukebox(JukeboxParams())
         reports = run_lukewarm_sequence(core, jb, tiny_traces[:2])
         _, first = reports[0]
@@ -37,27 +37,27 @@ class TestLifecycle:
         assert second.replay.lines_prefetched > 0
 
     def test_double_begin_rejected(self, tiny_traces):
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         jb = Jukebox(JukeboxParams())
         jb.begin_invocation(core.hierarchy)
         with pytest.raises(SimulationError):
             jb.begin_invocation(core.hierarchy)
 
     def test_end_without_begin_rejected(self, tiny_traces):
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         jb = Jukebox(JukeboxParams())
         result = core.run(tiny_traces[0])
         with pytest.raises(SimulationError):
             jb.end_invocation(core.hierarchy, result)
 
     def test_record_hook_cleared_after_invocation(self, tiny_traces):
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         jb = Jukebox(JukeboxParams())
         run_lukewarm_sequence(core, jb, tiny_traces[:1])
         assert core.hierarchy.record_hook is None
 
     def test_invocation_counter(self, tiny_traces):
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         jb = Jukebox(JukeboxParams())
         run_lukewarm_sequence(core, jb, tiny_traces[:3])
         assert jb.invocations == 3
@@ -66,13 +66,13 @@ class TestLifecycle:
 
 class TestEffectiveness:
     def test_covered_invocations_are_faster(self, tiny_traces):
-        baseline = LukewarmCore(skylake())
+        baseline = Simulator(skylake())
         base_cycles = []
         for trace in tiny_traces:
             baseline.flush_microarch_state()
             base_cycles.append(baseline.run(trace).cycles)
 
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         jb = Jukebox(JukeboxParams())
         reports = run_lukewarm_sequence(core, jb, tiny_traces)
         jb_cycles = [result.cycles for result, _ in reports]
@@ -83,7 +83,7 @@ class TestEffectiveness:
             assert with_jb < base * 0.95
 
     def test_coverage_is_high_and_stable(self, tiny_traces):
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         jb = Jukebox(JukeboxParams())
         reports = run_lukewarm_sequence(core, jb, tiny_traces)
         for result, report in reports[1:]:
@@ -94,14 +94,14 @@ class TestEffectiveness:
     def test_metadata_stable_across_covered_invocations(self, tiny_traces):
         """The recorded metadata must not decay once replay covers the
         working set (the record-on-prefetched-hit rule)."""
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         jb = Jukebox(JukeboxParams())
         reports = run_lukewarm_sequence(core, jb, tiny_traces)
         sizes = [report.recorded_bytes for _, report in reports]
         assert sizes[-1] > 0.6 * sizes[0]
 
     def test_overprediction_bounded(self, tiny_traces):
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         jb = Jukebox(JukeboxParams())
         reports = run_lukewarm_sequence(core, jb, tiny_traces)
         for _, report in reports[1:]:
@@ -110,7 +110,7 @@ class TestEffectiveness:
 
     def test_tight_budget_truncates_and_covers_less(self, tiny_traces):
         def coverage(budget):
-            core = LukewarmCore(skylake())
+            core = Simulator(skylake())
             jb = Jukebox(JukeboxParams(metadata_bytes=budget))
             reports = run_lukewarm_sequence(core, jb, tiny_traces)
             return sum(r.replay.covered for _, r in reports[1:])
@@ -118,7 +118,7 @@ class TestEffectiveness:
         assert coverage(1 * KB) < coverage(16 * KB)
 
     def test_replay_metadata_bytes_accessor(self, tiny_traces):
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         jb = Jukebox(JukeboxParams())
         assert jb.replay_metadata_bytes == 0
         run_lukewarm_sequence(core, jb, tiny_traces[:1])

@@ -113,11 +113,11 @@ class TestEndToEnd:
     def test_pif_between_baseline_and_jukebox(self, tiny_traces):
         """Paper ordering: baseline < PIF <= PIF-ideal < Jukebox."""
         from repro.core.jukebox import Jukebox
-        from repro.sim.core import LukewarmCore
+        from repro.sim.core import Simulator
         from repro.sim.params import JukeboxParams
 
         def run_baseline():
-            core = LukewarmCore(skylake())
+            core = Simulator(skylake())
             cycles = 0.0
             for i, trace in enumerate(tiny_traces):
                 core.flush_microarch_state()
@@ -127,7 +127,7 @@ class TestEndToEnd:
             return cycles
 
         def run_with_pif(params):
-            core = LukewarmCore(skylake())
+            core = Simulator(skylake())
             pif = PIF(params, core.hierarchy)
             core.hierarchy.record_hook = pif
             cycles = 0.0
@@ -140,7 +140,7 @@ class TestEndToEnd:
             return cycles
 
         def run_with_jukebox():
-            core = LukewarmCore(skylake())
+            core = Simulator(skylake())
             jb = Jukebox(JukeboxParams())
             cycles = 0.0
             for i, trace in enumerate(tiny_traces):

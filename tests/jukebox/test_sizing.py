@@ -107,10 +107,10 @@ class TestEndToEndSizing:
         """Feed real Jukebox reports; the Go-like tiny function should get
         a budget well under the paper's 16KB default."""
         from repro.core.jukebox import Jukebox
-        from repro.sim.core import LukewarmCore
+        from repro.sim.core import Simulator
         from repro.sim.params import JukeboxParams, skylake
 
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         jukebox = Jukebox(JukeboxParams())
         sizer = MetadataSizer()
         for trace in tiny_traces:

@@ -9,13 +9,13 @@ from repro.core.snapshot import (
     snapshot_jukebox,
 )
 from repro.errors import MetadataError
-from repro.sim.core import LukewarmCore
+from repro.sim.core import Simulator
 from repro.sim.params import JukeboxParams, skylake
 from repro.units import KB
 
 
 def record_one_invocation(trace):
-    core = LukewarmCore(skylake())
+    core = Simulator(skylake())
     jukebox = Jukebox(JukeboxParams())
     core.flush_microarch_state()
     jukebox.begin_invocation(core.hierarchy)
@@ -62,7 +62,7 @@ class TestColdStartAcceleration:
         fresh = restore_jukebox(snapshot)
         assert fresh.has_replay_metadata
 
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         core.flush_microarch_state()
         stats = fresh.begin_invocation(core.hierarchy)
         assert stats.lines_prefetched > 0
@@ -72,11 +72,11 @@ class TestColdStartAcceleration:
         snapshot = snapshot_jukebox(record_one_invocation(tiny_traces[0]))
 
         # Cold boot without snapshot metadata.
-        cold_core = LukewarmCore(skylake())
+        cold_core = Simulator(skylake())
         cold = cold_core.run(trace)
 
         # Cold boot restored from snapshot: replay covers the fetch storm.
-        warm_core = LukewarmCore(skylake())
+        warm_core = Simulator(skylake())
         jukebox = restore_jukebox(snapshot)
         jukebox.begin_invocation(warm_core.hierarchy)
         accelerated = warm_core.run(trace)

@@ -13,7 +13,7 @@ from repro.lint import contracts
 from repro.core.metadata import MetadataBuffer
 from repro.core.regions import RegionGeometry
 from repro.sim.cache import SetAssocCache
-from repro.sim.core import LukewarmCore
+from repro.sim.core import Simulator
 from repro.sim.params import CacheParams, skylake
 from repro.sim.stats import AccessStats, HierarchyStats, MemoryTraffic
 from repro.sim.topdown import TopDownBreakdown
@@ -165,7 +165,7 @@ class TestMetadataContracts:
 
 class TestContractsActiveInDefaultRuns:
     def test_core_run_invokes_invocation_contract(self, monkeypatch):
-        """LukewarmCore.run checks every result without opting in."""
+        """Simulator.run checks every result without opting in."""
         from repro.workloads import FunctionModel, get_profile
 
         calls = []
@@ -173,7 +173,7 @@ class TestContractsActiveInDefaultRuns:
         monkeypatch.setattr("repro.sim.core.contracts.check_invocation",
                             lambda result: (calls.append(result),
                                             real_check(result)))
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         profile = get_profile("Auth-G").scaled(0.05)
         result = core.run(FunctionModel(profile, seed=3).invocation_trace(0))
         assert calls == [result]

@@ -69,7 +69,16 @@ class TestScopeKey:
         rule = get_rule("REPRO006")
         assert rule.applies_to("engine/executors.py")
         assert rule.applies_to("engine/sweep.py")
-        assert not rule.applies_to("experiments/runner.py")
+
+    def test_wallclock_covers_simulate_consumers(self):
+        # Since the simulate() migration, stressors and experiment
+        # builders sit directly on the simulation path; the CLI runner is
+        # in scope too and carries explicit disables at its two
+        # wall-clock *reporting* sites.
+        rule = get_rule("REPRO006")
+        assert rule.applies_to("server/stressor.py")
+        assert rule.applies_to("experiments/common.py")
+        assert rule.applies_to("experiments/runner.py")
 
     def test_wallclock_covers_obs(self):
         # Trace timestamps come only from injected clocks, so the

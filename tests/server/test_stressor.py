@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.server.stressor import Stressor
-from repro.sim.core import LukewarmCore
+from repro.sim.core import Simulator
 from repro.sim.params import skylake
 
 ADDR = 0x5555_0000_0000
@@ -12,7 +12,7 @@ ADDR = 0x5555_0000_0000
 
 @pytest.fixture
 def core():
-    return LukewarmCore(skylake())
+    return Simulator(skylake())
 
 
 def warm_up(core, n_blocks=64):
@@ -57,7 +57,7 @@ class TestIdleGap:
 
     def test_llc_decay_is_graded(self, core):
         def survivors(gap_ms):
-            c = LukewarmCore(skylake())
+            c = Simulator(skylake())
             for i in range(4096):
                 c.hierarchy.llc.insert((ADDR >> 6) + i)
             Stressor(load=0.5, seed=1).idle_gap(c, gap_ms)
@@ -86,7 +86,7 @@ class TestContention:
         assert core.hierarchy.memory.contention == 1.0
 
     def test_contention_scales_with_load(self, core):
-        low, high = LukewarmCore(skylake()), core
+        low, high = Simulator(skylake()), core
         Stressor(load=0.2).apply_contention(low)
         Stressor(load=0.9).apply_contention(high)
         assert high.hierarchy.memory.contention > low.hierarchy.memory.contention

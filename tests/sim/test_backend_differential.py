@@ -1,0 +1,202 @@
+"""Scalar-vs-columnar differential battery.
+
+The columnar backend's contract is *byte identity*: for every trace, the
+vectorized interpreter must produce an :class:`InvocationResult` whose
+canonical JSON encoding equals the scalar reference's, and must leave the
+simulator in exactly the same microarchitectural state (cache LRU orders,
+prefetch ledgers, TLBs, predictor training, BTB contents, counters).
+
+Three tiers of evidence:
+
+* the full Table-2 suite (all 20 profiles), flushed and warm;
+* seeded-random :class:`TraceBuilder` programs exercising event mixes the
+  generator never emits (the property battery);
+* targeted shapes that aim at the bulk-execution preconditions (repeat
+  folding, fused inserts, prefetch interactions).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.job import canonicalize
+from repro.experiments.common import RunConfig, make_traces
+from repro.sim.core import Simulator
+from repro.sim.params import skylake
+from repro.sim.simulate import simulate
+from repro.workloads import TraceBuilder
+from repro.workloads.suite import SUITE, get_profile
+from repro.workloads.trace import LoopSpec
+
+ALL_PROFILES = tuple(p.abbrev for p in SUITE)
+
+
+def canonical_json(results) -> str:
+    return json.dumps([canonicalize(r) for r in results], sort_keys=True,
+                      separators=(",", ":"))
+
+
+def full_state(sim):
+    """Every observable bit of microarchitectural state, as a comparable
+    value (not just the result: divergent state would poison the *next*
+    invocation even if this one matched)."""
+    h = sim.hierarchy
+    caches = tuple(
+        (tuple(tuple(s) for s in c._sets), frozenset(c._pf_pending))
+        for c in (h.l1i, h.l1d, h.l2, h.llc))
+    tlbs = tuple(tuple(tuple(s) for s in t._sets) for t in (h.itlb, h.dtlb))
+    br = sim.branches
+    btb = br.btb
+    return (caches, tlbs, frozenset(br._trained),
+            tuple(tuple(s) for s in btb._sets),
+            br.mispredicts, br.cold_mispredicts, br.executions,
+            btb.lookups, btb.misses)
+
+
+def run_sequence(traces, backend, flush):
+    sim = Simulator(skylake(), backend=backend)
+    results = []
+    for trace in traces:
+        if flush:
+            sim.flush_microarch_state()
+        results.append(simulate(trace, sim=sim))
+        sim.hierarchy.finish_invocation()
+    return canonical_json(results), full_state(sim)
+
+
+def assert_backends_identical(traces, flush):
+    scalar_json, scalar_state = run_sequence(traces, "scalar", flush)
+    columnar_json, columnar_state = run_sequence(traces, "columnar", flush)
+    assert columnar_json == scalar_json
+    assert columnar_state == scalar_state
+
+
+class TestTable2Suite:
+    """Byte identity over every Table-2 workload, lukewarm and warm."""
+
+    CFG = RunConfig(invocations=3, warmup=1, seed=1, instruction_scale=0.05)
+
+    @pytest.mark.parametrize("abbrev", ALL_PROFILES)
+    def test_flushed_sequence_identical(self, abbrev):
+        traces = make_traces(get_profile(abbrev), self.CFG)
+        assert_backends_identical(traces, flush=True)
+
+    @pytest.mark.parametrize("abbrev", ALL_PROFILES)
+    def test_warm_sequence_identical(self, abbrev):
+        traces = make_traces(get_profile(abbrev), self.CFG)
+        assert_backends_identical(traces, flush=False)
+
+
+def random_trace(seed: int):
+    """A seeded random program over the full event vocabulary."""
+    rng = np.random.default_rng(seed)
+    b = TraceBuilder()
+    code_blocks = [int(x) * 64 for x in rng.integers(0, 4096, size=64)]
+    data_blocks = [(1 << 24) + int(x) * 64
+                   for x in rng.integers(0, 2048, size=64)]
+    walk = [code_blocks[i] for i in rng.integers(0, len(code_blocks),
+                                                 size=24)]
+    for _ in range(int(rng.integers(40, 140))):
+        roll = rng.random()
+        if roll < 0.45:
+            b.fetch(code_blocks[int(rng.integers(0, len(code_blocks)))],
+                    insts=int(rng.integers(1, 30)),
+                    taken_branches=int(rng.integers(0, 3)))
+        elif roll < 0.60:
+            # Repeated walks drive the bulk classifier and repeat folding.
+            for addr in walk:
+                b.fetch(addr, insts=int(rng.integers(2, 16)))
+        elif roll < 0.80:
+            addr = data_blocks[int(rng.integers(0, len(data_blocks)))]
+            count = int(rng.integers(1, 12))
+            if rng.random() < 0.3:
+                b.store(addr, count=count)
+            else:
+                b.load(addr, count=count)
+        elif roll < 0.95:
+            b.branch_site(0x400000 + int(rng.integers(0, 512)) * 4,
+                          executions=int(rng.integers(1, 80)),
+                          taken_prob=float(rng.random()))
+        else:
+            body = tuple(
+                (1 << 22) + int(x) * 64
+                for x in rng.integers(0, 64, size=int(rng.integers(2, 9))))
+            b.loop(LoopSpec(blocks=body,
+                            iterations=int(rng.integers(2, 40)),
+                            insts_per_iteration=int(rng.integers(8, 64)),
+                            branches_per_iteration=int(rng.integers(1, 4))))
+    return b.build()
+
+
+class TestSeededRandomPrograms:
+    """Property battery: arbitrary seeded event streams never diverge."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_flushed_identical(self, seed):
+        traces = [random_trace(seed * 31 + k) for k in range(3)]
+        assert_backends_identical(traces, flush=True)
+
+    @pytest.mark.parametrize("seed", range(12, 20))
+    def test_warm_identical(self, seed):
+        traces = [random_trace(seed * 31 + k) for k in range(3)]
+        assert_backends_identical(traces, flush=False)
+
+
+class TestTargetedShapes:
+    """Hand-built shapes aimed at specific bulk-path preconditions."""
+
+    def test_pure_repeat_walk_folds_identically(self):
+        b = TraceBuilder()
+        blocks = [i * 64 for i in range(12)]
+        for _ in range(20):
+            for addr in blocks:
+                b.fetch(addr, insts=8, taken_branches=1)
+        assert_backends_identical([b.build()], flush=True)
+
+    def test_itlb_aliasing_walk(self):
+        # Pages far apart so the walk spans many I-TLB sets and the walk's
+        # pages do not all fit one set.
+        b = TraceBuilder()
+        blocks = [i * 4096 * 17 for i in range(40)]
+        for _ in range(4):
+            for addr in blocks:
+                b.fetch(addr, insts=4)
+        assert_backends_identical([b.build()], flush=True)
+
+    def test_set_conflicting_walk(self):
+        # All blocks in the same L1-I set: walk exceeds associativity, so
+        # repeats can never fold and every pass re-walks cold.
+        b = TraceBuilder()
+        stride = 64 * 64  # one full L1-I set period
+        blocks = [i * stride for i in range(16)]
+        for _ in range(6):
+            for addr in blocks:
+                b.fetch(addr, insts=4)
+        assert_backends_identical([b.build()], flush=True)
+
+    def test_data_stream_with_next_line_prefetch(self):
+        b = TraceBuilder()
+        for i in range(200):
+            b.load((1 << 26) + i * 64, count=2)
+        for i in range(200):
+            b.load((1 << 26) + i * 64)  # re-touch: hits + prefetch flags
+        assert_backends_identical([b.build()], flush=True)
+
+    def test_interleaved_code_and_data_same_blocks(self):
+        # Data accesses to the blocks the instruction walk touches: the
+        # d-side and i-side are separate caches but share L2/LLC.
+        b = TraceBuilder()
+        blocks = [i * 64 for i in range(30)]
+        for _ in range(3):
+            for addr in blocks:
+                b.fetch(addr, insts=6)
+                b.load(addr)
+        assert_backends_identical([b.build()], flush=True)
+
+    def test_branch_heavy_with_cold_btb(self):
+        b = TraceBuilder()
+        for site in range(300):
+            b.branch_site(0x500000 + site * 4, executions=1 + site % 7,
+                          taken_prob=(site % 11) / 10.0)
+        assert_backends_identical([b.build()], flush=True)

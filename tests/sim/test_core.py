@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.core import LukewarmCore
+from repro.sim.core import Simulator
 from repro.sim.params import skylake
 from repro.units import LINE_SIZE
 from repro.workloads.trace import LoopSpec, TraceBuilder
@@ -20,7 +20,7 @@ def build_trace(fn):
 class TestBasicAccounting:
     def test_retiring_cycles(self):
         trace = build_trace(lambda b: b.fetch(CODE, insts=8))
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         result = core.run(trace)
         assert result.instructions == 8
         assert result.topdown.retiring == pytest.approx(
@@ -28,7 +28,7 @@ class TestBasicAccounting:
 
     def test_cold_fetch_charges_fetch_latency(self):
         trace = build_trace(lambda b: b.fetch(CODE, insts=4))
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         result = core.run(trace)
         assert result.topdown.fetch_latency > 0
         assert result.fetch_sources == {"memory": 1}
@@ -37,25 +37,25 @@ class TestBasicAccounting:
         def body(b):
             b.fetch(CODE, 4)
             b.fetch(CODE, 4)
-        result = LukewarmCore(skylake()).run(build_trace(body))
+        result = Simulator(skylake()).run(build_trace(body))
         assert result.fetch_sources == {"memory": 1, "l1": 1}
 
     def test_taken_branches_charge_fetch_bandwidth(self):
         t1 = build_trace(lambda b: b.fetch(CODE, 4, taken_branches=0))
         t2 = build_trace(lambda b: b.fetch(CODE, 4, taken_branches=3))
-        r1 = LukewarmCore(skylake()).run(t1)
-        r2 = LukewarmCore(skylake()).run(t2)
+        r1 = Simulator(skylake()).run(t1)
+        r2 = Simulator(skylake()).run(t2)
         assert r2.topdown.fetch_bandwidth > r1.topdown.fetch_bandwidth
 
     def test_loads_charge_backend(self):
         trace = build_trace(lambda b: b.load(DATA, count=4))
-        result = LukewarmCore(skylake()).run(trace)
+        result = Simulator(skylake()).run(trace)
         assert result.topdown.backend_bound > 0
         assert result.topdown.fetch_latency == 0
 
     def test_branch_site_charges_bad_speculation(self):
         trace = build_trace(lambda b: b.branch_site(CODE + 16, 100, 0.5))
-        result = LukewarmCore(skylake()).run(trace)
+        result = Simulator(skylake()).run(trace)
         assert result.topdown.bad_speculation > 0
 
     def test_cycles_equals_topdown_total(self):
@@ -63,7 +63,7 @@ class TestBasicAccounting:
             b.fetch(CODE, 8, 1)
             b.load(DATA, 4)
             b.branch_site(CODE + 16, 50, 0.9)
-        result = LukewarmCore(skylake()).run(build_trace(body))
+        result = Simulator(skylake()).run(build_trace(body))
         assert result.cycles == pytest.approx(result.topdown.total_cycles)
 
 
@@ -72,14 +72,14 @@ class TestLoops:
         spec = LoopSpec(blocks=(CODE, CODE + LINE_SIZE), iterations=100,
                         insts_per_iteration=20)
         trace = build_trace(lambda b: b.loop(spec))
-        result = LukewarmCore(skylake()).run(trace)
+        result = Simulator(skylake()).run(trace)
         assert result.instructions == 2000
 
     def test_small_loop_refetches_nothing(self):
         """A loop body resident in the L1-I misses only on the first pass."""
         spec = LoopSpec(blocks=(CODE, CODE + LINE_SIZE), iterations=50,
                         insts_per_iteration=16)
-        result = LukewarmCore(skylake()).run(build_trace(lambda b: b.loop(spec)))
+        result = Simulator(skylake()).run(build_trace(lambda b: b.loop(spec)))
         assert result.stats.l1i.inst_misses == 2
 
     def test_large_loop_steady_state_charged(self):
@@ -91,9 +91,9 @@ class TestLoops:
                          insts_per_iteration=4 * 10)
         big = LoopSpec(blocks=blocks, iterations=50,
                        insts_per_iteration=n_blocks * 10)
-        r_small = LukewarmCore(skylake()).run(
+        r_small = Simulator(skylake()).run(
             build_trace(lambda b: b.loop(small)))
-        r_big = LukewarmCore(skylake()).run(build_trace(lambda b: b.loop(big)))
+        r_big = Simulator(skylake()).run(build_trace(lambda b: b.loop(big)))
         # Per-instruction fetch latency is higher for the L1I-overflowing loop.
         fl_small = r_small.topdown.fetch_latency / r_small.instructions
         fl_big = r_big.topdown.fetch_latency / r_big.instructions
@@ -101,7 +101,7 @@ class TestLoops:
 
     def test_loop_exit_mispredicts_once(self):
         spec = LoopSpec(blocks=(CODE,), iterations=10, insts_per_iteration=10)
-        result = LukewarmCore(skylake()).run(build_trace(lambda b: b.loop(spec)))
+        result = Simulator(skylake()).run(build_trace(lambda b: b.loop(spec)))
         assert result.mispredicts == 1
 
 
@@ -111,7 +111,7 @@ class TestFlush:
             b.fetch(CODE, 4)
             b.branch_site(CODE + 4, 10, 0.9)
         trace = build_trace(body)
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         first = core.run(trace)
         warm = core.run(trace)
         core.flush_microarch_state()
@@ -121,7 +121,7 @@ class TestFlush:
 
     def test_flush_recolds_branch_sites(self):
         trace = build_trace(lambda b: b.branch_site(CODE, 100, 0.95))
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         first = core.run(trace)
         core.flush_microarch_state()
         again = core.run(trace)
@@ -131,17 +131,17 @@ class TestFlush:
 class TestResultHelpers:
     def test_cpi(self):
         trace = build_trace(lambda b: b.fetch(CODE, 100))
-        result = LukewarmCore(skylake()).run(trace)
+        result = Simulator(skylake()).run(trace)
         assert result.cpi == pytest.approx(result.cycles / 100)
 
     def test_mpki_delegates_to_stats(self):
         trace = build_trace(lambda b: b.fetch(CODE, 1000))
-        result = LukewarmCore(skylake()).run(trace)
+        result = Simulator(skylake()).run(trace)
         assert result.mpki("llc", "inst") == pytest.approx(1.0)
 
     def test_stats_are_per_invocation_deltas(self):
         trace = build_trace(lambda b: b.fetch(CODE, 4))
-        core = LukewarmCore(skylake())
+        core = Simulator(skylake())
         r1 = core.run(trace)
         r2 = core.run(trace)
         assert r1.stats.l1i.inst_misses == 1
@@ -152,7 +152,7 @@ class TestResultHelpers:
 class TestDeterminism:
     def test_same_trace_same_cycles(self, tiny_model):
         trace = tiny_model.invocation_trace(0)
-        r1 = LukewarmCore(skylake()).run(trace)
-        r2 = LukewarmCore(skylake()).run(trace)
+        r1 = Simulator(skylake()).run(trace)
+        r2 = Simulator(skylake()).run(trace)
         assert r1.cycles == pytest.approx(r2.cycles)
         assert r1.instructions == r2.instructions

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import TraceError
-from repro.sim.core import LukewarmCore
+from repro.sim.core import Simulator
 from repro.sim.params import skylake
 from repro.workloads.serialization import load_trace, save_trace
 
@@ -34,8 +34,8 @@ class TestRoundTrip:
         path = tmp_path / "trace.npz"
         save_trace(trace, path)
         loaded = load_trace(path)
-        r1 = LukewarmCore(skylake()).run(trace)
-        r2 = LukewarmCore(skylake()).run(loaded)
+        r1 = Simulator(skylake()).run(trace)
+        r2 = Simulator(skylake()).run(loaded)
         assert r1.cycles == pytest.approx(r2.cycles)
         assert r1.instructions == r2.instructions
 
@@ -64,3 +64,79 @@ class TestValidation:
                  kinds=np.zeros(0, np.uint8))
         with pytest.raises(TraceError, match="not an invocation-trace"):
             load_trace(path)
+
+
+class TestFormatVersioning:
+    """The v2 wire format: versioned, digest-checked, v1-compatible."""
+
+    def _archive_parts(self, trace, tmp_path):
+        import json
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        with np.load(path) as data:
+            arrays = {name: data[name].copy() for name in data.files}
+        header = json.loads(bytes(arrays.pop("header")).decode())
+        return path, header, arrays
+
+    def _rewrite(self, path, header, arrays):
+        import json
+        payload = json.dumps(header).encode()
+        np.savez(path, header=np.frombuffer(payload, dtype=np.uint8),
+                 **arrays)
+
+    def test_writes_current_version(self, tiny_traces, tmp_path):
+        from repro.workloads.serialization import FORMAT_VERSION
+        _path, header, _arrays = self._archive_parts(tiny_traces[0], tmp_path)
+        assert header["version"] == FORMAT_VERSION == 2
+        assert len(header["columns_sha256"]) == 64
+
+    def test_rejects_unknown_future_version(self, tiny_traces, tmp_path):
+        path, header, arrays = self._archive_parts(tiny_traces[0], tmp_path)
+        header["version"] = 99
+        self._rewrite(path, header, arrays)
+        with pytest.raises(TraceError, match="unsupported trace version 99"):
+            load_trace(path)
+
+    def test_error_names_supported_versions(self, tiny_traces, tmp_path):
+        path, header, arrays = self._archive_parts(tiny_traces[0], tmp_path)
+        header["version"] = 99
+        self._rewrite(path, header, arrays)
+        with pytest.raises(TraceError, match="1, 2"):
+            load_trace(path)
+
+    def test_v1_archives_still_load(self, tiny_traces, tmp_path):
+        """A v1 archive (no digest) round-trips: the arrays carry all
+        information, so old published traces stay readable."""
+        trace = tiny_traces[0]
+        path, header, arrays = self._archive_parts(trace, tmp_path)
+        header["version"] = 1
+        del header["columns_sha256"]
+        self._rewrite(path, header, arrays)
+        loaded = load_trace(path)
+        assert (loaded.kinds == trace.kinds).all()
+        assert loaded.loops == trace.loops
+
+    def test_corrupted_column_rejected(self, tiny_traces, tmp_path):
+        path, header, arrays = self._archive_parts(tiny_traces[0], tmp_path)
+        arrays["addrs"] = arrays["addrs"].copy()
+        arrays["addrs"][0] ^= 0x40  # one flipped bit, same length
+        self._rewrite(path, header, arrays)
+        with pytest.raises(TraceError, match="column digest mismatch"):
+            load_trace(path)
+
+    def test_columnar_ir_round_trips_losslessly(self, tiny_traces, tmp_path):
+        """The derived ColumnarTrace IR is identical before and after a
+        save/load cycle -- the lossless-round-trip contract."""
+        trace = tiny_traces[0]
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        before, after = trace.columnar(), loaded.columnar()
+        assert (before.kinds == after.kinds).all()
+        assert (before.blocks == after.blocks).all()
+        assert (before.pages == after.pages).all()
+        assert (before.args == after.args).all()
+        assert (before.args2 == after.args2).all()
+        def structural(ops):
+            return [tuple(getattr(x, "key", x) for x in op) for op in ops]
+        assert structural(before.ops) == structural(after.ops)
