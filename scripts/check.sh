@@ -45,6 +45,14 @@ mkdir -p benchmarks/results
 python benchmarks/bench_engine.py --json \
     --out benchmarks/results/BENCH_engine.json
 
+echo "== chaos smoke (scripts/chaos_smoke.py) =="
+# End-to-end failure drill: injected worker kills/hangs (reaped by the
+# deadline guard), torn cache writes and ENOSPC (quarantine + degrade),
+# an fsck repair pass, and a SIGKILLed driver resuming from the
+# incremental cache -- every scenario must reproduce the undisturbed
+# baseline byte-for-byte.
+python scripts/chaos_smoke.py
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo "== pytest (fast: unit suites only) =="
     python -m pytest -q \

@@ -14,8 +14,16 @@ default, or ``keep_going`` / ``retry`` with deterministic seeded
 backoff), pool-worker crashes re-dispatch the unfinished frontier to a
 fresh pool (degrading to serial after repeated crashes), and completed
 cells are checkpointed into the cache as they finish so aborted sweeps
-resume warm.  The :mod:`repro.faults` harness injects failures
-deterministically for tests and ``--inject-fault``.
+resume warm.  The :mod:`repro.engine.guard` layer adds *time* bounds on
+top: ``job_timeout_s`` kills hung workers (the cell becomes a transient
+:class:`JobTimeoutError` and retries per policy), ``sweep_deadline_s``
+fails whatever a batch could not finish in budget.  The cache is
+crash-durable -- framed, digest-verified entries; quarantine-and-
+recompute on damage; a cross-process advisory lock; degrade-to-no-store
+on disk errors -- and ``python -m repro.engine fsck`` audits or repairs
+a cache directory offline.  The :mod:`repro.faults` harness injects
+failures (crashes, hangs, torn writes, full disks) deterministically
+for tests and ``--inject-fault``.
 
 Typical use from an experiment module::
 
@@ -30,7 +38,21 @@ and from the CLI layer::
         ...   # every sweep below fans out over 4 workers, memoized
 """
 
-from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.cache import (
+    CacheEntryError,
+    CacheLock,
+    CacheStats,
+    ResultCache,
+    check_entry,
+    decode_entry,
+    encode_entry,
+)
+from repro.engine.guard import (
+    GuardSpec,
+    GuardState,
+    JobTimeoutError,
+    SweepDeadlineError,
+)
 from repro.engine.executors import (
     DEFAULT_MAXTASKSPERCHILD,
     DEFAULT_MAX_POOL_FAILURES,
@@ -78,6 +100,8 @@ from repro.engine.sweep import (
 )
 
 __all__ = [
+    "CacheEntryError",
+    "CacheLock",
     "CacheStats",
     "DEFAULT_MAXTASKSPERCHILD",
     "DEFAULT_MAX_POOL_FAILURES",
@@ -85,9 +109,12 @@ __all__ = [
     "ERROR_CLASSES",
     "EngineContext",
     "FailurePolicy",
+    "GuardSpec",
+    "GuardState",
     "Job",
     "JobError",
     "JobOutcome",
+    "JobTimeoutError",
     "KEEP_GOING",
     "PERMANENT",
     "ProcessExecutor",
@@ -96,10 +123,14 @@ __all__ = [
     "ResultCache",
     "SCHEMA_VERSION",
     "SerialExecutor",
+    "SweepDeadlineError",
     "SweepStats",
     "TRANSIENT",
     "Task",
     "backoff_delay",
+    "check_entry",
+    "decode_entry",
+    "encode_entry",
     "canonicalize",
     "classify_error",
     "code_version",

@@ -17,6 +17,18 @@ execution with a warning rather than crash-looping.  Because cells are
 pure, a cell that ran twice (in-flight during a crash, then re-run)
 returns an identical value, and outcomes still come back in submission
 order.
+
+Both executors additionally honour an armed
+:class:`~repro.engine.guard.GuardState` (``run_tasks(..., guard=)``):
+the pool watchdog kills pools whose dispatches exceed the per-job
+deadline (the hung cell becomes a transient
+:class:`~repro.engine.guard.JobTimeoutError` outcome, the rest of the
+frontier is re-dispatched -- a *deadline* kill never counts toward
+``max_pool_failures``, since degrading a hang-prone sweep to serial
+would remove the only mechanism able to interrupt it), and both
+executors fail not-yet-started cells fast once the sweep deadline
+expires.  Deadline checks read time exclusively through the guard's
+injected clock.
 """
 
 from __future__ import annotations
@@ -94,10 +106,18 @@ class SerialExecutor:
         return [execute_job(job) for job in jobs]
 
     def run_tasks(self, tasks: Sequence[Task],
-                  on_outcome: OutcomeCallback = None) -> List[JobOutcome]:
+                  on_outcome: OutcomeCallback = None,
+                  guard: Optional[Any] = None) -> List[JobOutcome]:
         outcomes: List[JobOutcome] = []
         for task in tasks:
-            outcome = execute_task(task)
+            # The sweep deadline is checked *between* cells: serial
+            # execution cannot preempt a running cell (only the pool
+            # watchdog can kill a hung dispatch), but it never starts a
+            # new cell against an expired budget.
+            if guard is not None and guard.sweep_expired():
+                outcome = guard.sweep_deadline_outcome(task)
+            else:
+                outcome = execute_task(task)
             outcomes.append(outcome)
             if on_outcome is not None:
                 on_outcome(task, outcome)
@@ -141,22 +161,35 @@ class ProcessExecutor:
         return [outcome.unwrap() for outcome in self.run_tasks(_tasks_for(jobs))]
 
     def run_tasks(self, tasks: Sequence[Task],
-                  on_outcome: OutcomeCallback = None) -> List[JobOutcome]:
+                  on_outcome: OutcomeCallback = None,
+                  guard: Optional[Any] = None) -> List[JobOutcome]:
         if self.jobs == 1 or len(tasks) <= 1:
-            return SerialExecutor().run_tasks(tasks, on_outcome=on_outcome)
+            return SerialExecutor().run_tasks(tasks, on_outcome=on_outcome,
+                                              guard=guard)
         outcomes: Dict[int, JobOutcome] = {}
         pending: Dict[int, Task] = {task.index: task for task in tasks}
         crashes = 0
         while pending:
-            crashed = self._drain_pool(pending, outcomes, on_outcome)
-            if not crashed:
+            abandon = self._drain_pool(pending, outcomes, on_outcome, guard)
+            if abandon is None:
                 break
-            crashes += 1
             self.pool_restarts += 1
-            self._emit(_obs.POOL_DEATH, crashes=crashes,
-                       pending=len(pending))
             pending = {index: task.redispatch()
                        for index, task in pending.items()}
+            if abandon == "deadline":
+                # A deadline kill is the guard working as designed, not a
+                # pool failure: it never counts toward degrade-to-serial
+                # (serial execution could not interrupt the next hang).
+                redispatch = (f"; re-dispatching the {len(pending)} "
+                              f"unfinished cell(s) to a fresh pool"
+                              if pending else "")
+                warnings.warn(
+                    f"sweep guard killed a pool to reap a hung "
+                    f"worker{redispatch}", RuntimeWarning, stacklevel=2)
+                continue
+            crashes += 1
+            self._emit(_obs.POOL_DEATH, crashes=crashes,
+                       pending=len(pending))
             if crashes >= self.max_pool_failures:
                 self._emit(_obs.POOL_DEGRADE, crashes=crashes,
                            pending=len(pending))
@@ -167,7 +200,7 @@ class ProcessExecutor:
                 rest = [pending[index] for index in sorted(pending)]
                 for task, outcome in zip(
                         rest, SerialExecutor().run_tasks(
-                            rest, on_outcome=on_outcome)):
+                            rest, on_outcome=on_outcome, guard=guard)):
                     outcomes[task.index] = outcome
                 pending.clear()
                 break
@@ -179,11 +212,13 @@ class ProcessExecutor:
 
     def _drain_pool(self, pending: Dict[int, Task],
                     outcomes: Dict[int, JobOutcome],
-                    on_outcome: OutcomeCallback) -> bool:
+                    on_outcome: OutcomeCallback,
+                    guard: Optional[Any] = None) -> Optional[str]:
         """Run one pool over the open frontier.
 
-        Returns ``True`` if a worker crashed (the caller re-dispatches
-        whatever is still pending), ``False`` when the frontier drained.
+        Returns why the pool was abandoned with work still pending --
+        ``"crash"`` (a worker died) or ``"deadline"`` (the guard killed a
+        hung dispatch) -- or ``None`` when nothing is left to dispatch.
         Finished results are collected incrementally either way.
         """
         import multiprocessing
@@ -195,12 +230,17 @@ class ProcessExecutor:
         try:
             asyncs = [(task, pool.apply_async(execute_task, (task,)))
                       for task in tasks]
+            # Job budgets are measured from pool submission (queueing
+            # included): the watchdog cannot see *which* worker runs a
+            # given dispatch, only that the dispatch has not come back.
+            dispatched_at = ({index: guard.now() for index in pending}
+                             if guard is not None else {})
             seen_workers: List[Any] = []
 
             def collect_ready() -> None:
                 for task, result in asyncs:
                     if task.index in pending and result.ready():
-                        outcome = result.get()
+                        outcome = result.get(_POLL_INTERVAL_S)
                         outcomes[task.index] = outcome
                         del pending[task.index]
                         if on_outcome is not None:
@@ -209,12 +249,51 @@ class ProcessExecutor:
             while True:
                 collect_ready()
                 if not pending:
-                    return False
+                    return None
+                if guard is not None:
+                    if guard.sweep_expired():
+                        # Budget for the whole batch is gone: fail every
+                        # unfinished cell fast, kill the pool, dispatch
+                        # nothing further.
+                        self._emit(_obs.WORKER_KILL, reason="sweep-deadline",
+                                   pending=len(pending))
+                        for index in sorted(pending):
+                            task = pending.pop(index)
+                            outcome = guard.sweep_deadline_outcome(task)
+                            outcomes[index] = outcome
+                            if on_outcome is not None:
+                                on_outcome(task, outcome)
+                        return None
+                    expired = guard.expired_jobs(dispatched_at, pending)
+                    if expired:
+                        # FIFO dispatch means the cells actually *on*
+                        # workers are the first ``workers`` entries of
+                        # the pending frontier; later expired cells are
+                        # merely starved in the queue behind a hung
+                        # worker, and are re-dispatched with fresh
+                        # budgets instead of being blamed.
+                        running = set(sorted(pending)[:workers])
+                        victims = ([index for index in expired
+                                    if index in running] or expired)
+                        now = guard.now()
+                        for index in victims:
+                            task = pending.pop(index)
+                            outcome = guard.timeout_outcome(
+                                task, elapsed_s=now - dispatched_at[index])
+                            outcomes[index] = outcome
+                            if on_outcome is not None:
+                                on_outcome(task, outcome)
+                        # Killing the hung worker means terminating the
+                        # whole pool (workers are anonymous); innocent
+                        # in-flight dispatches are re-dispatched fresh.
+                        self._emit(_obs.WORKER_KILL, reason="job-deadline",
+                                   killed=len(victims), pending=len(pending))
+                        return "deadline"
                 if self._worker_crashed(pool, seen_workers):
                     # One last harvest: results that landed between the
                     # crash and its detection are still valid.
                     collect_ready()
-                    return bool(pending)
+                    return "crash" if pending else None
                 self._wait_for_progress(asyncs, pending)
         finally:
             pool.terminate()

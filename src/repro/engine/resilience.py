@@ -328,7 +328,8 @@ def run_with_policy(executor: Any, tasks: Sequence[Task],
                     sleep: Optional[Callable[[float], None]] = None,
                     on_outcome: Optional[Callable[[Task, JobOutcome], None]] = None,
                     stats: Optional[Any] = None,
-                    tracer: Optional[Any] = None) -> List[JobOutcome]:
+                    tracer: Optional[Any] = None,
+                    guard: Optional[Any] = None) -> List[JobOutcome]:
     """Drive tasks through an executor in rounds, retrying per policy.
 
     Each round dispatches the whole open frontier as one batch (so a
@@ -345,6 +346,13 @@ def run_with_policy(executor: Any, tasks: Sequence[Task],
     is re-queued.  All events are emitted on the parent side -- workers
     never see the tracer, so executors stay picklable and custom
     ``run_tasks`` signatures stay untouched.
+
+    ``guard`` (optional, an armed :class:`~repro.engine.guard.GuardState`)
+    bounds the rounds in injected-clock time: it is forwarded to the
+    executor only when present (custom executors with the plain two-arg
+    ``run_tasks`` keep working), and once the sweep deadline expires no
+    further retry round is scheduled -- would-be retries fail permanently
+    with the deadline outcome instead of sleeping through backoff.
     """
     tracing = tracer is not None and tracer.enabled
     final: Dict[int, JobOutcome] = {}
@@ -364,7 +372,12 @@ def run_with_policy(executor: Any, tasks: Sequence[Task],
                 tracer.emit(_obs.DISPATCH, job=_job_label(task),
                             index=task.index, attempt=task.attempt,
                             dispatch=task.dispatch)
-        computed = executor.run_tasks(round_tasks, on_outcome=harvest)
+        if guard is not None:
+            computed = executor.run_tasks(round_tasks, on_outcome=harvest,
+                                          guard=guard)
+        else:
+            computed = executor.run_tasks(round_tasks, on_outcome=harvest)
+        sweep_expired = guard is not None and guard.sweep_expired()
         next_round: List[Task] = []
         for task, outcome in zip(round_tasks, computed):
             if outcome.ok:
@@ -373,7 +386,8 @@ def run_with_policy(executor: Any, tasks: Sequence[Task],
                     outcome, errors=prior + outcome.errors)
                 continue
             errors = history.get(task.index, ()) + outcome.errors
-            if task.attempt < policy.retries and _retryable(outcome, policy):
+            if (not sweep_expired and task.attempt < policy.retries
+                    and _retryable(outcome, policy)):
                 delay = backoff_delay(policy, task.index, task.attempt)
                 errors = errors[:-1] + (replace(errors[-1], backoff_s=delay),)
                 history[task.index] = errors

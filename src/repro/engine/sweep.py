@@ -49,6 +49,7 @@ from repro.engine.executors import (
     SerialExecutor,
     get_executor,
 )
+from repro.engine.guard import GuardSpec, GuardState
 from repro.engine.job import DEFAULT_PROVIDER, Job
 from repro.engine.resilience import (
     KEEP_GOING,
@@ -139,6 +140,10 @@ class EngineContext:
     #: Counter/gauge/histogram registry the sweep layer publishes into;
     #: exported by the runner behind ``--metrics-out``.
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Deadline budgets (:class:`~repro.engine.guard.GuardSpec`); a
+    #: non-empty spec requires an injected ``clock`` and arms one
+    #: :class:`~repro.engine.guard.GuardState` per sweep batch.
+    guard: Optional[GuardSpec] = None
 
 
 #: The zero-configuration default context (serial, uncached), shared by
@@ -155,7 +160,7 @@ _CONTEXT: ContextVar[EngineContext] = ContextVar(
 
 def current_context() -> EngineContext:
     """The innermost active :class:`EngineContext`."""
-    return _CONTEXT.get()
+    return _CONTEXT.get()  # repro-lint: disable=REPRO011 -- ContextVar read, never blocks
 
 
 @contextmanager
@@ -170,6 +175,8 @@ def configure(jobs: int = 1,
               tracer: Any = None,
               trace_path: Optional[Union[str, Path]] = None,
               metrics: Optional[MetricsRegistry] = None,
+              job_timeout_s: Optional[float] = None,
+              sweep_deadline_s: Optional[float] = None,
               ) -> Iterator[EngineContext]:
     """Activate an engine context for the duration of the ``with`` block.
 
@@ -180,11 +187,27 @@ def configure(jobs: int = 1,
     always has counters to read.  Trace timestamps come from ``clock``;
     with no clock configured, events carry ``t: null`` and the trace is
     fully deterministic.
+
+    Deadlines: ``job_timeout_s`` bounds one dispatch (hung workers are
+    killed and the cell retried per policy), ``sweep_deadline_s`` bounds
+    each sweep batch.  Both are measured on the injected ``clock``
+    (required when either is set -- the engine never reads host time).
+
+    An on-disk cache is *opened* for the block -- orphaned temp files
+    reaped, the shared cross-process advisory lock taken -- and its lock
+    released on exit (only if this block acquired it, so an outer opener
+    keeps its hold).
     """
     if tracer is not None and trace_path is not None:
         raise ConfigurationError(
             "pass either tracer= or trace_path=, not both; attach a "
             "JsonlSink to your tracer instead")
+    guard_spec = GuardSpec(job_timeout_s=job_timeout_s,
+                           sweep_deadline_s=sweep_deadline_s)
+    if guard_spec and clock is None:
+        raise ConfigurationError(
+            "job_timeout_s/sweep_deadline_s need an injected clock; pass "
+            "clock= (e.g. time.monotonic, or TickClock in tests)")
     owns_tracer = tracer is None
     if tracer is None:
         sinks = (JsonlSink(trace_path),) if trace_path is not None else ()
@@ -193,18 +216,24 @@ def configure(jobs: int = 1,
         cache = ResultCache(cache_dir, tracer=tracer)
     elif cache is not None and cache.tracer is None:
         cache.tracer = tracer
+    opened_cache = cache is not None and not cache.lock.held
+    if cache is not None:
+        cache.open()
     ctx = EngineContext(
         executor=get_executor(jobs, maxtasksperchild=maxtasksperchild,
                               tracer=tracer),
         cache=cache, clock=clock, policy=policy,
         faults=FaultPlan.coerce(faults), sleep=sleep,
         tracer=tracer, metrics=metrics if metrics is not None
-        else MetricsRegistry())
+        else MetricsRegistry(),
+        guard=guard_spec if guard_spec else None)
     token = _CONTEXT.set(ctx)
     try:
         yield ctx
     finally:
         _CONTEXT.reset(token)
+        if cache is not None and opened_cache:
+            cache.close()
         if owns_tracer:
             tracer.close()
 
@@ -264,15 +293,26 @@ def sweep_outcomes(jobs: Sequence[Job],
         if task.attempt == 0:
             stats.misses += 1
         if outcome.ok and ctx.cache is not None:
-            ctx.cache.put(keys[task.index], outcome.value)
-            stats.stores += 1
+            key = keys[task.index]
+            if ctx.faults is not None:
+                code = ctx.faults.store_errno(task.job, task.index)
+                if code is not None:
+                    ctx.cache.induce_store_error(code)
+            if ctx.cache.put(key, outcome.value):
+                stats.stores += 1
+                if (ctx.faults is not None
+                        and ctx.faults.should_tear(task.job, task.index)):
+                    ctx.cache.tear(key)
 
     if pending:
+        guard = (GuardState(ctx.guard, ctx.clock, tracer=tracer)
+                 if ctx.guard else None)
         started = ctx.clock() if ctx.clock is not None else None
         try:
             computed = run_with_policy(
                 ctx.executor, pending, eff, sleep=ctx.sleep,
-                on_outcome=checkpoint, stats=stats, tracer=tracer)
+                on_outcome=checkpoint, stats=stats, tracer=tracer,
+                guard=guard)
         finally:
             if started is not None:
                 stats.sim_seconds += ctx.clock() - started

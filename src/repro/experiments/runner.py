@@ -17,10 +17,12 @@ each cell so re-runs skip simulation entirely.
 Failure handling: ``--retries N`` re-runs transiently failing cells with
 deterministic backoff, ``--keep-going`` finishes the remaining
 experiments when one fails (completed cells stay cached either way, so a
-rerun resumes warm), and ``--inject-fault SPEC`` activates the
-deterministic fault harness (:mod:`repro.faults`) for failure drills.
-Exit status: 0 on success, 2 on a usage error, 3 when any experiment
-failed.
+rerun resumes warm), ``--job-timeout`` / ``--sweep-deadline`` bound hung
+cells and runaway batches in wall-clock time (hung pool workers are
+killed and retried; an expired sweep fails fast), and ``--inject-fault
+SPEC`` activates the deterministic fault harness (:mod:`repro.faults`)
+for failure drills.  Exit status: 0 on success, 2 on a usage error, 3
+when any experiment failed (deadline expiries included).
 """
 
 from __future__ import annotations
@@ -140,6 +142,18 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    """argparse type: a float > 0, rejected at parse time."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of seconds, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0 seconds, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lukewarm-repro",
@@ -172,6 +186,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "SPEC is ACTION:SELECTOR[:OPTION...], e.g. "
                              "'fail:#3', 'kill:#2', 'fail:config=jukebox:"
                              "always', 'corrupt:*'")
+    parser.add_argument("--job-timeout", type=_positive_float, default=None,
+                        metavar="SECONDS", dest="job_timeout",
+                        help="kill any single simulation cell running longer "
+                             "than this (hung workers are reaped and the "
+                             "cell retried per --retries; needs --jobs >= 2 "
+                             "to preempt)")
+    parser.add_argument("--sweep-deadline", type=_positive_float, default=None,
+                        metavar="SECONDS", dest="sweep_deadline",
+                        help="fail whatever a sweep batch has not finished "
+                             "after this many seconds (the run exits 3; "
+                             "completed cells stay cached)")
     parser.add_argument("--maxtasksperchild", type=_positive_int,
                         default=engine.DEFAULT_MAXTASKSPERCHILD, metavar="N",
                         help="recycle each pool worker after N cells "
@@ -247,7 +272,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                           clock=time.perf_counter, policy=policy,
                           faults=faults, sleep=time.sleep,
                           maxtasksperchild=args.maxtasksperchild,
-                          trace_path=args.trace) as ctx:
+                          trace_path=args.trace,
+                          job_timeout_s=args.job_timeout,
+                          sweep_deadline_s=args.sweep_deadline) as ctx:
         for name in names:
             before = ctx.stats.snapshot()
             started = time.time()  # repro-lint: disable=REPRO006 -- CLI progress reporting, not simulation

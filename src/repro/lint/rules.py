@@ -18,6 +18,8 @@ instance to :data:`ALL_RULES`.
 | REPRO007 | broad ``except Exception`` in engine code outside resilience  |
 | REPRO008 | module-level tracer/metrics singletons (observability must be |
 |          | injected per context, never ambient global state)             |
+| REPRO011 | unbounded blocking waits (``.wait()``/``.get()``/             |
+|          | ``.acquire()`` with no arguments) in engine code              |
 
 Two further rules, REPRO009 (cache-key soundness) and REPRO010 (worker
 safety), are *whole-program* analyses over the import/call graph; they
@@ -605,6 +607,52 @@ class GlobalObservability(Rule):
         return leaf if leaf in self._OBS_FACTORIES else None
 
 
+class UnboundedBlockingWait(Rule):
+    """REPRO011: argument-less blocking waits in engine code.
+
+    The deadline guard (PR 8) can only bound a sweep in time if no code
+    path under ``engine/`` can block forever between watchdog polls.  A
+    zero-argument ``.wait()`` / ``.get()`` / ``.acquire()`` on a pool
+    result, queue, event, or lock blocks indefinitely -- one wedged
+    worker and the parent hangs with it, deadline or no deadline.  Every
+    such wait must state its bound (``result.get(poll_interval)``) or
+    make its blocking mode an explicit argument
+    (``lock.acquire(blocking=True)``): passing *anything* proves the
+    author chose the blocking behaviour instead of inheriting it.
+
+    Only zero-argument calls are flagged, so ``dict.get(key)`` and
+    friends never trip the rule.
+    """
+
+    id = "REPRO011"
+    severity = "error"
+    scopes = ("engine/",)
+    description = ("argument-less .wait()/.get()/.acquire() blocks forever "
+                   "and defeats the deadline guard; pass a timeout or an "
+                   "explicit blocking mode")
+
+    _BLOCKING_METHODS = frozenset({"wait", "get", "acquire"})
+
+    def check(self, tree: ast.Module, source: str,
+              path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and not node.args
+                    and not node.keywords
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            method = node.func.attr
+            if method not in self._BLOCKING_METHODS:
+                continue
+            violations.append(self.violation(
+                node, path,
+                f".{method}() with no arguments can block forever and "
+                f"defeats the deadline guard; pass a timeout (e.g. "
+                f".{method}(poll_interval)) or an explicit blocking mode",
+            ))
+        return violations
+
+
 #: The registry walked by the engine and CLI, in id order.
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomness(),
@@ -615,6 +663,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     WallClock(),
     BroadExceptInEngine(),
     GlobalObservability(),
+    UnboundedBlockingWait(),
 )
 
 

@@ -22,6 +22,20 @@ kind                      emitted when
                           re-dispatched
 ``executor.degrade``      repeated crashes degraded the pool to serial
 ``retry.backoff``         a transient failure was scheduled for retry
+``job.deadline``          a dispatch (or the whole sweep) exceeded its
+                          guard deadline
+``worker.kill``           the guard terminated a pool to reap a hung
+                          worker
+``cache.lock``            the advisory cross-process cache lock was
+                          acquired or released
+``cache.quarantine``      a corrupt/torn entry was moved aside for
+                          recompute (``fsck`` can inspect it later)
+``cache.store_failed``    a cache store hit an I/O error; the sweep
+                          degraded to no-store mode
+``fsck.begin/end``        one ``repro.engine fsck`` pass over a cache root
+``fsck.repair``           fsck fixed a repairable defect (misplaced
+                          entry, orphan temp file, empty fanout dir)
+``fsck.evict``            fsck quarantined an unrecoverable entry
 ========================  ==================================================
 
 Determinism rules: ``seq`` and every payload field are pure functions of
@@ -59,12 +73,24 @@ HARVEST = "executor.harvest"
 POOL_DEATH = "executor.pool_death"
 POOL_DEGRADE = "executor.degrade"
 RETRY = "retry.backoff"
+JOB_DEADLINE = "job.deadline"
+WORKER_KILL = "worker.kill"
+CACHE_LOCK = "cache.lock"
+CACHE_QUARANTINE = "cache.quarantine"
+CACHE_STORE_FAILED = "cache.store_failed"
+FSCK_BEGIN = "fsck.begin"
+FSCK_REPAIR = "fsck.repair"
+FSCK_EVICT = "fsck.evict"
+FSCK_END = "fsck.end"
 
 KINDS = frozenset({
     SWEEP_BEGIN, SWEEP_END,
     CACHE_HIT, CACHE_MISS, CACHE_STORE, CACHE_EVICT, CACHE_CORRUPT,
+    CACHE_LOCK, CACHE_QUARANTINE, CACHE_STORE_FAILED,
     DISPATCH, HARVEST, POOL_DEATH, POOL_DEGRADE,
     RETRY,
+    JOB_DEADLINE, WORKER_KILL,
+    FSCK_BEGIN, FSCK_REPAIR, FSCK_EVICT, FSCK_END,
 })
 
 #: Top-level JSON keys that payload fields may not shadow.

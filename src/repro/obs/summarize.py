@@ -77,12 +77,19 @@ class TraceSummary:
     cache_stores: int = 0
     cache_evictions: int = 0
     cache_corruptions: int = 0
+    cache_quarantines: int = 0
+    cache_store_failures: int = 0
+    cache_locks: int = 0
     dispatches: int = 0
     harvests: int = 0
     retries: int = 0
     failures: int = 0
     pool_deaths: int = 0
     degrades: int = 0
+    deadlines: int = 0
+    worker_kills: int = 0
+    fsck_repairs: int = 0
+    fsck_evictions: int = 0
     timings: Dict[str, JobTiming] = field(default_factory=dict)
 
     @property
@@ -164,6 +171,20 @@ def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
             summary.pool_deaths += 1
         elif kind == records.POOL_DEGRADE:
             summary.degrades += 1
+        elif kind == records.CACHE_QUARANTINE:
+            summary.cache_quarantines += 1
+        elif kind == records.CACHE_STORE_FAILED:
+            summary.cache_store_failures += 1
+        elif kind == records.CACHE_LOCK:
+            summary.cache_locks += 1
+        elif kind == records.JOB_DEADLINE:
+            summary.deadlines += 1
+        elif kind == records.WORKER_KILL:
+            summary.worker_kills += 1
+        elif kind == records.FSCK_REPAIR:
+            summary.fsck_repairs += 1
+        elif kind == records.FSCK_EVICT:
+            summary.fsck_evictions += 1
     if saw_sweep_end:
         checks = [
             ("cache.hit", summary.cache_hits, reported_hits),
@@ -203,6 +224,17 @@ def render_summary(summary: TraceSummary, slowest: int = 5) -> str:
         f"failures          {summary.failures}",
         f"pool deaths       {summary.pool_deaths}",
     ]
+    # Recovery-layer counters only appear when the guard/fsck machinery
+    # actually acted, keeping quiet traces quiet.
+    for label, count in (
+            ("deadlines hit", summary.deadlines),
+            ("workers killed", summary.worker_kills),
+            ("quarantined", summary.cache_quarantines),
+            ("store failures", summary.cache_store_failures),
+            ("fsck repairs", summary.fsck_repairs),
+            ("fsck evictions", summary.fsck_evictions)):
+        if count:
+            lines.append(f"{label:<17} {count}")
     slow = summary.slowest(slowest)
     if slow:
         lines.append("slowest cells:")
@@ -227,12 +259,23 @@ def summary_to_json(summary: TraceSummary,
             "stores": summary.cache_stores,
             "evictions": summary.cache_evictions,
             "corruptions": summary.cache_corruptions,
+            "quarantines": summary.cache_quarantines,
+            "store_failures": summary.cache_store_failures,
+            "locks": summary.cache_locks,
         },
         "executor": {
             "dispatches": summary.dispatches,
             "harvests": summary.harvests,
             "pool_deaths": summary.pool_deaths,
             "degrades": summary.degrades,
+        },
+        "guard": {
+            "deadlines": summary.deadlines,
+            "worker_kills": summary.worker_kills,
+        },
+        "fsck": {
+            "repairs": summary.fsck_repairs,
+            "evictions": summary.fsck_evictions,
         },
         "retries": summary.retries,
         "failures": summary.failures,

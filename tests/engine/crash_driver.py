@@ -1,0 +1,73 @@
+"""A sacrificial sweep driver for crash-recovery drills.
+
+Runs N cheap echo cells serially against an on-disk result cache,
+printing one flushed ``cell <i> ok`` line as each checkpoint lands and a
+final ``RESULT <canonical json>`` line for the whole batch.  The
+crash-recovery tests (and the CI chaos smoke) launch it as a subprocess,
+SIGKILL it after a seeded number of checkpoint lines, then rerun it to
+completion and assert the rerun (a) serves the killed run's cells from
+the cache and (b) prints a byte-identical RESULT line to an uninterrupted
+run -- the incremental cache checkpoint *is* the crash-recovery log.
+
+Serial on purpose (``jobs=1``): the driver stays single-process, so a
+SIGKILL leaves no orphaned pool workers behind, only whatever the cache
+directory held at the instant of death -- half-written temp files
+included, which the next open reaps.
+
+Invoke as ``python -m tests.engine.crash_driver`` from the repo root
+(the echo provider lives in :mod:`tests.engine.fake_provider`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.engine import Job, canonicalize, configure, sweep_outcomes
+from repro.experiments.common import RunConfig
+from repro.sim.params import skylake
+from repro.workloads.suite import get_profile
+
+
+def make_jobs(count: int, seed: int = 1) -> List[Job]:
+    """The drill's job batch: ``count`` echo cells, distinct by ``seq``."""
+    cfg = RunConfig(invocations=2, warmup=1, instruction_scale=0.1,
+                    seed=seed)
+    machine = skylake()
+    profile = get_profile("Auth-G")
+    return [Job.make(profile, machine, cfg, "resilience_echo",
+                     provider="tests.engine.fake_provider", seq=i)
+            for i in range(count)]
+
+
+def result_line(values: Sequence[object]) -> str:
+    """The canonical-JSON form crash tests byte-compare."""
+    return "RESULT " + json.dumps(canonicalize(list(values)),
+                                  sort_keys=True, separators=(",", ":"))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m tests.engine.crash_driver")
+    parser.add_argument("--cache-dir", required=True)
+    parser.add_argument("--count", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    jobs = make_jobs(args.count, seed=args.seed)
+    values: List[object] = []
+    with configure(cache_dir=args.cache_dir) as ctx:
+        for i, job in enumerate(jobs):
+            [outcome] = sweep_outcomes([job])
+            values.append(outcome.value)
+            # One flushed line per checkpoint: the parent counts these to
+            # SIGKILL at an exact point in the schedule.
+            print(f"cell {i} ok", flush=True)
+        print(result_line(values), flush=True)
+        print(f"STATS hits={ctx.stats.hits} misses={ctx.stats.misses}",
+              flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

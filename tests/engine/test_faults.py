@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import errno
 import pickle
 
 import pytest
@@ -71,6 +72,29 @@ class TestParse:
         assert FaultSpec.parse("fail:#3").describe() == "fail:#3:x1"
         assert (FaultSpec.parse("fail:config=jukebox:always").describe()
                 == "fail:config=jukebox:always")
+
+    @pytest.mark.parametrize("action", ["hang", "slow", "enospc", "torn"])
+    def test_chaos_actions_parse(self, action):
+        spec = FaultSpec.parse(f"{action}:#2")
+        assert spec.action == action and spec.index == 2
+
+    def test_seconds_amount_parses_on_timed_actions(self):
+        assert FaultSpec.parse("hang:#1:0.25").amount == 0.25
+        assert FaultSpec.parse("slow:*:0.1:always").amount == 0.1
+        assert FaultSpec.parse("hang:#1").amount is None  # forever
+
+    @pytest.mark.parametrize("bad", [
+        "fail:#1:0.5",               # seconds on an untimed action
+        "torn:#1:0.5",               # seconds on a disk action
+        "hang:#1:-2",                # negative seconds
+    ])
+    def test_misplaced_amounts_are_configuration_errors(self, bad):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.parse(bad)
+
+    def test_describe_includes_the_amount(self):
+        assert FaultSpec.parse("hang:#1:0.25").describe() == "hang:#1:x1:0.25s"
+        assert FaultSpec.parse("slow:*").describe() == "slow:*:x1"
 
 
 class TestMatching:
@@ -148,6 +172,27 @@ class TestPlan:
         plan = FaultPlan.coerce(["corrupt:#1", "fail:#2"])
         assert plan.should_corrupt(job_for(), 1)
         assert not plan.should_corrupt(job_for(), 2)
+
+    def test_store_errno_arms_only_enospc_matches(self):
+        plan = FaultPlan.coerce(["enospc:#1", "torn:#2"])
+        assert plan.store_errno(job_for(), 1) == errno.ENOSPC
+        assert plan.store_errno(job_for(), 2) is None
+
+    def test_should_tear(self):
+        plan = FaultPlan.coerce(["torn:#2", "enospc:#1"])
+        assert plan.should_tear(job_for(), 2)
+        assert not plan.should_tear(job_for(), 1)
+
+    def test_bounded_hang_and_slow_run_in_the_main_process(self):
+        # Timed delays are safe anywhere; only *unbounded* hangs are
+        # restricted to daemonic pool workers.
+        plan = FaultPlan.coerce(["hang:#0:0.001", "slow:#0:0.001"])
+        plan.on_execute(job_for(), 0, attempt=0, dispatch=0)  # returns
+
+    def test_unbounded_hang_is_inert_outside_pool_workers(self):
+        plan = FaultPlan.coerce("hang:*:always")
+        # Were this honoured here, the test suite would wedge forever.
+        plan.on_execute(job_for(), 0, attempt=0, dispatch=0)
 
     def test_plans_are_picklable(self):
         plan = FaultPlan.coerce(["fail:#1:permanent", "kill:*:x2"])

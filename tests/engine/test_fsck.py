@@ -1,0 +1,191 @@
+"""fsck: audit/repair semantics, lock discipline, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import ResultCache, encode_entry
+from repro.engine.__main__ import main as engine_main
+from repro.engine.fsck import CacheBusyError, fsck
+from repro.errors import ConfigurationError
+from repro.obs.tracer import Tracer
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+THIRD = "ef" + "2" * 62
+
+
+def seeded_cache(root):
+    cache = ResultCache(root)
+    cache.put(KEY, {"cpi": 1.0})
+    cache.put(OTHER, {"cpi": 2.0})
+    cache.put(THIRD, {"cpi": 3.0})
+    return cache
+
+
+class TestAudit:
+    def test_clean_cache_reports_clean(self, tmp_path):
+        seeded_cache(tmp_path / "c")
+        report = fsck(tmp_path / "c")
+        assert report.clean
+        assert report.scanned == 3 and report.ok == 3
+        assert not report.problems
+        assert "clean" in report.describe()
+
+    def test_missing_root_is_a_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not a cache"):
+            fsck(tmp_path / "nope")
+
+    def test_audit_finds_but_does_not_touch_damage(self, tmp_path):
+        cache = seeded_cache(tmp_path / "c")
+        path = cache.path_for(KEY)
+        path.write_bytes(path.read_bytes()[:-3])  # torn
+        report = fsck(tmp_path / "c")
+        assert not report.clean
+        [problem] = report.problems
+        assert problem.action == "found"
+        assert "torn" in problem.defect
+        assert path.exists()  # audit is read-only
+
+    def test_audit_flags_ill_formed_keys(self, tmp_path):
+        cache = seeded_cache(tmp_path / "c")
+        stray = cache.root / "ab" / "not-a-key.pkl"
+        stray.write_bytes(encode_entry(1))
+        report = fsck(tmp_path / "c")
+        [problem] = report.problems
+        assert "hex cache" in problem.defect
+
+    def test_audit_flags_misplaced_valid_entries(self, tmp_path):
+        cache = seeded_cache(tmp_path / "c")
+        misplaced = cache.root / "zz" / f"{KEY}.pkl"
+        misplaced.parent.mkdir()
+        misplaced.write_bytes(encode_entry("stray"))
+        report = fsck(tmp_path / "c")
+        [problem] = report.problems
+        assert "misplaced" in problem.defect
+
+
+class TestRepair:
+    def test_repair_quarantines_damage_and_comes_back_clean(self, tmp_path):
+        cache = seeded_cache(tmp_path / "c")
+        cache.path_for(KEY).write_bytes(b"junk")
+        torn = cache.path_for(OTHER)
+        torn.write_bytes(torn.read_bytes()[:-3])
+        report = fsck(tmp_path / "c", repair=True)
+        assert report.clean and report.quarantined == 2
+        assert {p.action for p in report.problems} == {"quarantined"}
+        assert fsck(tmp_path / "c").clean
+        # Quarantined slots read as misses: cells recompute.
+        assert cache.get(KEY) == (False, None)
+        assert cache.get(THIRD) == (True, {"cpi": 3.0})
+
+    def test_repair_moves_misplaced_entries_into_their_slot(self, tmp_path):
+        cache = seeded_cache(tmp_path / "c")
+        fourth = "0f" + "3" * 62
+        misplaced = cache.root / "zz" / f"{fourth}.pkl"
+        misplaced.parent.mkdir()
+        misplaced.write_bytes(encode_entry("found me"))
+        report = fsck(tmp_path / "c", repair=True)
+        assert report.clean and report.repaired == 1
+        [problem] = report.problems
+        assert problem.action == "moved"
+        assert not misplaced.exists()
+        assert cache.get(fourth) == (True, "found me")
+
+    def test_repair_reaps_every_temp_file(self, tmp_path):
+        cache = seeded_cache(tmp_path / "c")
+        # Under the exclusive lock even a live pid's temp is an orphan.
+        tmp = cache.root / "ab" / f".{KEY}.pkl.1.tmp"
+        tmp.write_bytes(b"half")
+        report = fsck(tmp_path / "c")
+        assert report.reaped_tmp == 1
+        assert not tmp.exists()
+
+    def test_purge_quarantine_requires_repair(self, tmp_path):
+        seeded_cache(tmp_path / "c")
+        with pytest.raises(ConfigurationError, match="--repair"):
+            fsck(tmp_path / "c", purge_quarantine=True)
+
+    def test_purge_quarantine_empties_the_evidence_area(self, tmp_path):
+        cache = seeded_cache(tmp_path / "c")
+        cache.path_for(KEY).write_bytes(b"junk")
+        first = fsck(tmp_path / "c", repair=True)
+        assert first.quarantine_entries == 1
+        second = fsck(tmp_path / "c", repair=True, purge_quarantine=True)
+        assert second.purged_quarantine == 1
+        assert fsck(tmp_path / "c").quarantine_entries == 0
+
+    def test_events_name_each_action(self, tmp_path):
+        cache = seeded_cache(tmp_path / "c")
+        cache.path_for(KEY).write_bytes(b"junk")
+        misplaced = cache.root / "zz" / f"{THIRD}.pkl"
+        misplaced.parent.mkdir()
+        cache.path_for(THIRD).rename(misplaced)
+        tracer = Tracer()
+        fsck(tmp_path / "c", repair=True, tracer=tracer)
+        kinds = [e.kind for e in tracer.events]
+        assert kinds[0] == "fsck.begin" and kinds[-1] == "fsck.end"
+        assert "fsck.evict" in kinds and "fsck.repair" in kinds
+
+
+class TestLockDiscipline:
+    def test_fsck_refuses_a_live_sweeps_root(self, tmp_path):
+        cache = seeded_cache(tmp_path / "c")
+        cache.open()
+        try:
+            with pytest.raises(CacheBusyError, match="live sweep"):
+                fsck(tmp_path / "c")
+        finally:
+            cache.close()
+        assert fsck(tmp_path / "c").clean  # lock released: fsck proceeds
+
+    def test_fsck_releases_its_exclusive_lock(self, tmp_path):
+        cache = seeded_cache(tmp_path / "c")
+        fsck(tmp_path / "c")
+        cache.open()  # would deadlock/fail if fsck leaked the lock
+        assert cache.lock.held
+        cache.close()
+
+
+class TestCli:
+    def test_clean_exit_zero(self, tmp_path, capsys):
+        seeded_cache(tmp_path / "c")
+        assert engine_main(["fsck", str(tmp_path / "c")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_defects_exit_one(self, tmp_path, capsys):
+        cache = seeded_cache(tmp_path / "c")
+        cache.path_for(KEY).write_bytes(b"junk")
+        assert engine_main(["fsck", str(tmp_path / "c")]) == 1
+        assert "--repair" in capsys.readouterr().out
+
+    def test_repair_then_clean(self, tmp_path, capsys):
+        cache = seeded_cache(tmp_path / "c")
+        cache.path_for(KEY).write_bytes(b"junk")
+        assert engine_main(["fsck", str(tmp_path / "c"), "--repair"]) == 0
+        assert engine_main(["fsck", str(tmp_path / "c")]) == 0
+
+    def test_missing_directory_exit_two(self, tmp_path, capsys):
+        assert engine_main(["fsck", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_busy_exit_three(self, tmp_path, capsys):
+        cache = seeded_cache(tmp_path / "c")
+        cache.open()
+        try:
+            assert engine_main(["fsck", str(tmp_path / "c")]) == 3
+        finally:
+            cache.close()
+        assert "live sweep" in capsys.readouterr().err
+
+    def test_json_report_is_machine_readable(self, tmp_path, capsys):
+        cache = seeded_cache(tmp_path / "c")
+        cache.path_for(KEY).write_bytes(b"junk")
+        engine_main(["fsck", str(tmp_path / "c"), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["clean"] is False
+        assert doc["scanned"] == 3
+        [problem] = doc["problems"]
+        assert problem["key"] == KEY and problem["action"] == "found"

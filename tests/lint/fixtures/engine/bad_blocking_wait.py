@@ -1,0 +1,14 @@
+"""REPRO011 positive fixture: argument-less blocking waits in engine code."""
+
+
+def harvest(result):
+    return result.get()
+
+
+def rendezvous(event, lock):
+    event.wait()
+    lock.acquire()
+    try:
+        return True
+    finally:
+        lock.release()

@@ -1,0 +1,19 @@
+"""REPRO011 negative fixture: every wait states its bound or mode."""
+
+POLL_INTERVAL_S = 0.05
+
+
+def harvest(result, options):
+    value = result.get(POLL_INTERVAL_S)
+    retries = options.get("retries", 0)
+    fallback = options.get("fallback")
+    return value, retries, fallback
+
+
+def rendezvous(event, lock):
+    event.wait(timeout=POLL_INTERVAL_S)
+    lock.acquire(blocking=True)
+    try:
+        return True
+    finally:
+        lock.release()

@@ -198,6 +198,25 @@ class TestREPRO007:
         assert len(found) == 1
 
 
+class TestREPRO011:
+    def test_argless_blocking_waits_fire(self, fixture_violations):
+        found = _for_file(fixture_violations, "bad_blocking_wait.py")
+        assert {v.rule_id for v in found} == {"REPRO011"}
+        assert len(found) == 3  # .get(), .wait(), .acquire()
+        messages = " ".join(v.message for v in found)
+        assert "deadline guard" in messages
+
+    def test_bounded_waits_and_dict_get_are_silent(self, fixture_violations):
+        assert not _for_file(fixture_violations, "good_blocking_wait.py")
+
+    def test_scoped_to_engine_only(self):
+        rule = get_rule("REPRO011")
+        assert rule.applies_to("engine/executors.py")
+        assert rule.applies_to("engine/cache.py")
+        assert not rule.applies_to("obs/tracer.py")
+        assert not rule.applies_to("experiments/runner.py")
+
+
 class TestREPRO008:
     def test_module_level_singletons_fire(self, fixture_violations):
         found = _for_file(fixture_violations, "bad_global_tracer.py")
