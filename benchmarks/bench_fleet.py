@@ -1,0 +1,119 @@
+"""Benchmark: region-scale fleet simulation (the ext_fleet extension).
+
+Two halves, same pattern as ``bench_engine.py``:
+
+* a pytest-benchmark case running the fleet experiment at reduced scale
+  and asserting the paper-shaped outcome (positive Jukebox capacity
+  uplift on every arrival mix);
+* a CLI (``python benchmarks/bench_fleet.py --json``) run by
+  ``scripts/check.sh`` as the fleet smoke gate: simulates a small region
+  across two arrival mixes with Jukebox off/on and fails the build if
+  the geomean capacity uplift is not positive or any region violates
+  arrival conservation (arrivals != served + dropped).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_fleet
+from repro.experiments.common import RunConfig
+
+BENCH_CFG = RunConfig.fast()
+
+
+def test_fleet_region_sweep(benchmark, report):
+    from conftest import run_once
+
+    result = run_once(benchmark, ext_fleet.run, BENCH_CFG,
+                      arrivals=("poisson", "bursty"))
+    report("ext_fleet", ext_fleet.render(result))
+    assert result.geomean_uplift > 0
+    for entry in result.entries:
+        assert entry.capacity_uplift > 0
+        assert entry.p99_baseline_ms > 0
+
+
+# ---------------------------------------------------------------------------
+# CLI: fleet smoke gate (python benchmarks/bench_fleet.py --json).
+
+GATE_MIXES = ("poisson", "bursty")
+
+
+def _smoke_report(shards=2):
+    import time
+
+    from repro.fleet.config import FleetConfig
+
+    fleet = FleetConfig(nodes=4, instances=160, functions=20,
+                        duration_ms=20_000.0, mean_iat_ms=500.0, seed=1)
+    begin = time.perf_counter()
+    result = ext_fleet.run(BENCH_CFG, fleet=fleet, arrivals=GATE_MIXES,
+                           shards=shards)
+    elapsed = time.perf_counter() - begin
+    mixes = []
+    conserved = True
+    for entry in result.entries:
+        for region in (entry.baseline, entry.jukebox):
+            if region["arrivals"] != region["invocations"] + region["dropped"]:
+                conserved = False
+        mixes.append({
+            "arrival": entry.arrival,
+            "capacity_base_inv_s": round(entry.baseline["capacity_inv_s"], 1),
+            "capacity_jb_inv_s": round(entry.jukebox["capacity_inv_s"], 1),
+            "uplift": round(entry.capacity_uplift, 4),
+            "p99_base_ms": round(entry.p99_baseline_ms, 3),
+            "p99_jb_ms": round(entry.p99_jukebox_ms, 3),
+            "invocations": entry.baseline["invocations"],
+        })
+    uplift = result.geomean_uplift
+    return {
+        "bench": "fleet-region-smoke",
+        "nodes": fleet.nodes,
+        "instances": fleet.instances,
+        "shards": shards,
+        "seconds": round(elapsed, 3),
+        "mixes": mixes,
+        "gate": {
+            "geomean_uplift": round(uplift, 4),
+            "conservation": conserved,
+            "pass": uplift > 0 and conserved,
+        },
+    }
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import pathlib
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="fleet region simulation smoke gate")
+    parser.add_argument("--json", action="store_true",
+                        help="write BENCH_fleet.json")
+    parser.add_argument("--out", default="BENCH_fleet.json",
+                        help="output path for --json")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="engine shards per region")
+    args = parser.parse_args(argv)
+
+    report = _smoke_report(shards=args.shards)
+    for mix in report["mixes"]:
+        print(f"{mix['arrival']:>8}: capacity "
+              f"{mix['capacity_base_inv_s']:>9.1f} -> "
+              f"{mix['capacity_jb_inv_s']:>9.1f} inv/s "
+              f"({mix['uplift'] * 100:+.1f}%), "
+              f"p99 {mix['p99_base_ms']:.1f} -> {mix['p99_jb_ms']:.1f} ms")
+    gate = report["gate"]
+    verdict = "PASS" if gate["pass"] else "FAIL"
+    print(f"gate: geomean uplift {gate['geomean_uplift'] * 100:+.1f}% > 0, "
+          f"conservation={gate['conservation']} ... {verdict} "
+          f"({report['seconds']:.1f}s)")
+    if args.json:
+        pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if not gate["pass"]:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,11 @@ canonical-JSON results against an undisturbed serial baseline:
    repaired by ``python -m repro.engine fsck --repair``;
 4. **crash recovery** -- a serial driver subprocess is SIGKILLed after a
    seeded number of checkpoints, then rerun: the rerun resumes from the
-   incremental cache and reproduces the baseline byte-for-byte.
+   incremental cache and reproduces the baseline byte-for-byte;
+5. **fleet crash recovery** -- the same drill at region scale: a fleet
+   region sweep (``tests.fleet.fleet_driver``) is SIGKILLed mid-shard,
+   and the rerun must serve the checkpointed shards warm and aggregate
+   to a byte-identical region result.
 
 Run from the repo root with ``PYTHONPATH=src`` (check.sh does both).
 Exit status 0 on success; any assertion failure is a real regression in
@@ -139,6 +143,51 @@ def scenario_crash_recovery(expected: str, tmp: Path) -> None:
           f"checkpoints, resume byte-identical, {hits} cells from cache)")
 
 
+def scenario_fleet_crash(tmp: Path) -> None:
+    from tests.fleet.fleet_driver import (
+        DRILL_SHARDS,
+        drill_config,
+        result_line as fleet_result_line,
+    )
+    from repro.fleet.region import shard_jobs
+
+    # Undisturbed in-process ground truth (serial, uncached).
+    with configure():
+        outcomes = sweep_outcomes(shard_jobs(drill_config(SEED % 97),
+                                             shards=DRILL_SHARDS))
+    expected = fleet_result_line(
+        [node for o in outcomes for node in o.value])
+
+    cache_dir = tmp / "fleet-crash"
+    kill_after = random.Random(SEED + 1).randrange(1, DRILL_SHARDS)
+    cmd = [sys.executable, "-m", "tests.fleet.fleet_driver",
+           "--cache-dir", str(cache_dir), "--seed", str(SEED % 97)]
+    env = dict(os.environ,
+               PYTHONPATH=f"{ROOT / 'src'}{os.pathsep}{ROOT}")
+    victim = subprocess.Popen(cmd, cwd=ROOT, env=env,
+                              stdout=subprocess.PIPE, text=True)
+    seen = 0
+    for line in victim.stdout:
+        if line.startswith("shard "):
+            seen += 1
+            if seen >= kill_after:
+                victim.send_signal(signal.SIGKILL)
+                break
+    victim.wait()
+    assert victim.returncode == -signal.SIGKILL
+    rerun = subprocess.run(cmd, cwd=ROOT, env=env, capture_output=True,
+                           text=True, check=True)
+    lines = rerun.stdout.strip().splitlines()
+    got = next(l for l in lines if l.startswith("RESULT "))
+    stats = next(l for l in lines if l.startswith("STATS "))
+    assert got == expected, "post-SIGKILL fleet resume changed the region"
+    hits = int(stats.split("hits=")[1].split()[0])
+    assert hits >= kill_after, f"fleet resume re-simulated shards: {stats}"
+    print(f"  fleet crash recovery ok (SIGKILL after {kill_after}/"
+          f"{DRILL_SHARDS} shards, region byte-identical, "
+          f"{hits} shards from cache)")
+
+
 def main() -> int:
     expected = baseline()
     with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
@@ -147,6 +196,7 @@ def main() -> int:
         scenario_disk_chaos(expected, tmp)
         scenario_fsck(expected, tmp)
         scenario_crash_recovery(expected, tmp)
+        scenario_fleet_crash(tmp)
     print("chaos smoke: all scenarios byte-identical to baseline")
     return 0
 

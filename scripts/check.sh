@@ -45,6 +45,13 @@ mkdir -p benchmarks/results
 python benchmarks/bench_engine.py --json \
     --out benchmarks/results/BENCH_engine.json
 
+echo "== fleet smoke gate (benchmarks/bench_fleet.py --json) =="
+# Simulates a small region across two arrival mixes with Jukebox off/on;
+# fails if the geomean capacity uplift is not positive or any region
+# violates arrival conservation (arrivals != served + dropped).
+python benchmarks/bench_fleet.py --json \
+    --out benchmarks/results/BENCH_fleet.json
+
 echo "== chaos smoke (scripts/chaos_smoke.py) =="
 # End-to-end failure drill: injected worker kills/hangs (reaped by the
 # deadline guard), torn cache writes and ENOSPC (quarantine + degrade),

@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 from repro import engine
 from repro.errors import ConfigurationError
 from repro.experiments import (
+    ext_fleet,
     ext_throughput,
     fig01_iat,
     fig02_topdown,
@@ -101,6 +102,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "throughput": _experiment("throughput",
                               "extension: server capacity uplift",
                               ext_throughput),
+    "fleet": _experiment("fleet",
+                         "extension: region-scale fleet capacity",
+                         ext_fleet),
 }
 
 

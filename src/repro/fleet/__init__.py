@@ -1,0 +1,66 @@
+"""Region-scale fleet simulation (many servers behind a load balancer).
+
+The fleet layer scales the single-server model of :mod:`repro.server` out
+to a region: many multi-core nodes, a pluggable placement policy, a Zipf
+per-function popularity model, per-node keep-alive and Jukebox on/off --
+sharded across :mod:`repro.engine` so region sweeps are parallel, cached,
+and crash-resumable.  Entry point: :func:`repro.fleet.region
+.simulate_region`.
+"""
+
+from repro.fleet.balancer import (
+    Balancer,
+    FunctionAffinityBalancer,
+    LeastLoadedBalancer,
+    PlacementState,
+    RandomBalancer,
+    RoundRobinBalancer,
+    make_balancer,
+)
+from repro.fleet.config import (
+    BALANCER_NAMES,
+    KEEPALIVE_NAMES,
+    FleetConfig,
+    shard_bounds,
+    shard_node_ids,
+)
+from repro.fleet.node import build_node, make_keepalive, simulate_node
+from repro.fleet.plan import InstanceSpec, plan_region
+from repro.fleet.popularity import (
+    JUKEBOX_UPLIFT,
+    instances_per_function,
+    service_scale,
+    zipf_weights,
+)
+from repro.fleet.provider import PROVIDER
+from repro.fleet.region import shard_jobs, simulate_region
+from repro.fleet.result import LatencyHistogram, aggregate_nodes
+
+__all__ = [
+    "BALANCER_NAMES",
+    "Balancer",
+    "FleetConfig",
+    "FunctionAffinityBalancer",
+    "InstanceSpec",
+    "JUKEBOX_UPLIFT",
+    "KEEPALIVE_NAMES",
+    "LatencyHistogram",
+    "LeastLoadedBalancer",
+    "PROVIDER",
+    "PlacementState",
+    "RandomBalancer",
+    "RoundRobinBalancer",
+    "aggregate_nodes",
+    "build_node",
+    "instances_per_function",
+    "make_balancer",
+    "make_keepalive",
+    "plan_region",
+    "service_scale",
+    "shard_bounds",
+    "shard_jobs",
+    "shard_node_ids",
+    "simulate_node",
+    "simulate_region",
+    "zipf_weights",
+]

@@ -1,0 +1,152 @@
+"""Pluggable load-balancer / placement policies.
+
+A :class:`Balancer` decides which node hosts each function instance.
+Placement happens at *provisioning* time (instances, once placed, serve
+all their invocations from that node -- the standard serverless model
+where the frontend routes a function's traffic to its warm instances),
+so the placement stream is a pure function of (config, policy, seed) and
+every shard can recompute it independently.
+
+Policies:
+
+* ``random``           -- seeded uniform choice (the strawman);
+* ``round-robin``      -- strict rotation (the default frontend);
+* ``least-loaded``     -- minimize expected busy fraction per node;
+* ``function-affinity``-- co-locate instances of the same function
+  (maximizing warm-sharing and Jukebox metadata dedup potential),
+  falling back to least-loaded for first placements.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.fleet.config import BALANCER_NAMES
+
+
+@dataclass
+class PlacementState:
+    """Mutable per-region view the balancer consults while placing."""
+
+    nodes: int
+    #: Expected busy fraction accumulated on each node so far.
+    load: List[float] = field(default_factory=list)
+    #: function_id -> {node -> instance count} for affinity decisions.
+    function_nodes: Dict[int, Dict[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ConfigurationError(
+                f"nodes must be positive, got {self.nodes}")
+        if not self.load:
+            self.load = [0.0] * self.nodes
+
+    def record(self, function_id: int, node: int,
+               expected_load: float) -> None:
+        self.load[node] += expected_load
+        per_node = self.function_nodes.setdefault(function_id, {})
+        per_node[node] = per_node.get(node, 0) + 1
+
+
+class Balancer(ABC):
+    """Chooses the hosting node for one function instance."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def place(self, function_id: int, expected_load: float,
+              state: PlacementState) -> int:
+        """Return the node index for the next instance of ``function_id``."""
+
+
+class RandomBalancer(Balancer):
+    """Seeded uniform placement."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def place(self, function_id: int, expected_load: float,
+              state: PlacementState) -> int:
+        return self._rng.randrange(state.nodes)
+
+
+class RoundRobinBalancer(Balancer):
+    """Strict rotation over nodes in placement order."""
+
+    name = "round-robin"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._next = 0
+
+    def place(self, function_id: int, expected_load: float,
+              state: PlacementState) -> int:
+        node = self._next % state.nodes
+        self._next += 1
+        return node
+
+
+class LeastLoadedBalancer(Balancer):
+    """Place on the node with the least accumulated expected load.
+
+    Ties break toward the lowest node index, keeping the placement
+    stream deterministic.
+    """
+
+    name = "least-loaded"
+
+    def __init__(self, seed: int = 0) -> None:
+        pass
+
+    def place(self, function_id: int, expected_load: float,
+              state: PlacementState) -> int:
+        return min(range(state.nodes), key=lambda n: (state.load[n], n))
+
+
+class FunctionAffinityBalancer(Balancer):
+    """Prefer nodes already hosting the same function.
+
+    Among hosting nodes, the least-loaded wins; a function's first
+    instance (no hosting node yet) falls back to global least-loaded.
+    Affinity concentrates a function's warm instances, which maximizes
+    keep-alive hit rates and lets Jukebox metadata be shared across
+    co-resident instances of the same function.
+    """
+
+    name = "function-affinity"
+
+    def __init__(self, seed: int = 0) -> None:
+        pass
+
+    def place(self, function_id: int, expected_load: float,
+              state: PlacementState) -> int:
+        hosting = state.function_nodes.get(function_id)
+        if hosting:
+            return min(hosting, key=lambda n: (state.load[n], n))
+        return min(range(state.nodes), key=lambda n: (state.load[n], n))
+
+
+_BALANCERS = {
+    "random": RandomBalancer,
+    "round-robin": RoundRobinBalancer,
+    "least-loaded": LeastLoadedBalancer,
+    "function-affinity": FunctionAffinityBalancer,
+}
+
+assert tuple(sorted(_BALANCERS)) == tuple(sorted(BALANCER_NAMES))
+
+
+def make_balancer(name: str, seed: int = 0) -> Balancer:
+    """Instantiate a placement policy by name (seeded where stochastic)."""
+    try:
+        cls = _BALANCERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown balancer {name!r}; expected one of "
+            f"{', '.join(sorted(_BALANCERS))}") from None
+    return cls(seed=seed)

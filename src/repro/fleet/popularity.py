@@ -1,0 +1,106 @@
+"""Heavy-tailed per-function popularity and service heterogeneity.
+
+Production serverless populations are extremely skewed: a handful of
+functions receive most invocations (Shahrad et al.'s Azure study).  The
+fleet models this with a Zipf allotment -- function ``f`` (0-indexed by
+popularity rank) carries weight ``(f+1)^-alpha`` -- turned into integer
+per-function instance counts by largest-remainder rounding, so counts
+are deterministic and always sum to the configured region total.
+
+Each region function is mapped onto one of the paper's 20 calibrated
+Table 2 profiles (round-robin by rank), which supplies its memory
+footprint, language, and relative compute weight.  Jukebox-on fleets
+scale a function's service time down by its language's capacity uplift,
+reflecting Fig. 10's observation that the language is the biggest
+determinant of Jukebox's efficacy (Go > NodeJS > Python).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads.profiles import (
+    FunctionProfile,
+    LANG_GO,
+    LANG_NODEJS,
+    LANG_PYTHON,
+)
+from repro.workloads.suite import SUITE
+
+#: Per-language Jukebox capacity uplift applied to service times when a
+#: fleet runs with the optimization on.  Values follow the Fig. 10
+#: language ordering around the paper's +19.6% geomean.
+JUKEBOX_UPLIFT = {
+    LANG_PYTHON: 0.15,
+    LANG_NODEJS: 0.21,
+    LANG_GO: 0.25,
+}
+
+
+def zipf_weights(functions: int, alpha: float) -> List[float]:
+    """Normalized Zipf weights for ``functions`` popularity ranks."""
+    if functions <= 0:
+        raise ConfigurationError(
+            f"functions must be positive, got {functions}")
+    raw = [(rank + 1) ** -alpha for rank in range(functions)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def instances_per_function(functions: int, instances: int,
+                           alpha: float) -> List[int]:
+    """Integer instance allotment by largest-remainder rounding.
+
+    Deterministic, sums exactly to ``instances``; ties in the remainder
+    break toward the more popular (lower-rank) function.
+    """
+    if instances <= 0:
+        raise ConfigurationError(
+            f"instances must be positive, got {instances}")
+    weights = zipf_weights(functions, alpha)
+    shares = [w * instances for w in weights]
+    counts = [int(s) for s in shares]
+    remainder = instances - sum(counts)
+    by_fraction = sorted(range(functions),
+                         key=lambda f: (-(shares[f] - counts[f]), f))
+    for f in by_fraction[:remainder]:
+        counts[f] += 1
+    return counts
+
+
+@lru_cache(maxsize=1)
+def _suite_mean_instructions() -> float:
+    return sum(p.instructions for p in SUITE) / len(SUITE)
+
+
+def function_profile(function_id: int) -> FunctionProfile:
+    """The Table 2 profile backing one region function (round-robin)."""
+    if function_id < 0:
+        raise ConfigurationError(
+            f"function_id must be >= 0, got {function_id}")
+    return SUITE[function_id % len(SUITE)]
+
+
+def service_scale(function_id: int, jukebox: bool) -> float:
+    """Service-time multiplier of one region function.
+
+    The base multiplier is the profile's instruction count relative to
+    the suite mean (heavier functions run longer); with Jukebox on it is
+    divided by ``1 + uplift(language)`` -- the per-invocation frontend
+    savings turned into service-time reduction, which is exactly the
+    mechanism behind the paper's fleet-capacity claim.
+    """
+    profile = function_profile(function_id)
+    scale = profile.instructions / _suite_mean_instructions()
+    if jukebox:
+        scale /= 1.0 + JUKEBOX_UPLIFT[profile.language]
+    return scale
+
+
+def region_functions(functions: int, instances: int,
+                     alpha: float) -> List[Tuple[int, int]]:
+    """``(function_id, instance_count)`` pairs, popularity-ranked."""
+    counts = instances_per_function(functions, instances, alpha)
+    return [(f, counts[f]) for f in range(functions)]

@@ -422,9 +422,11 @@ class WallClock(Rule):
     #: simulate() migration: both now sit directly on the simulation path
     #: (stressors mutate hierarchy state; experiment builders are the
     #: engine's memoized cell bodies), so host-clock reads there are just
-    #: as result-corrupting as inside ``sim/``.
+    #: as result-corrupting as inside ``sim/``.  ``fleet/`` joined with
+    #: the region simulator: shard results are content-addressed cache
+    #: entries, so any host-clock read there poisons the cache.
     scopes = ("sim/", "core/", "analysis/", "workloads/", "engine/",
-              "obs/", "server/", "experiments/")
+              "obs/", "server/", "experiments/", "fleet/")
     description = ("wall-clock / nondeterministic call in a simulation "
                    "path; use simulated cycles and sorted listings")
 

@@ -36,6 +36,10 @@ kind                      emitted when
 ``fsck.repair``           fsck fixed a repairable defect (misplaced
                           entry, orphan temp file, empty fanout dir)
 ``fsck.evict``            fsck quarantined an unrecoverable entry
+``fleet.region.begin``    :func:`repro.fleet.region.simulate_region`
+                          starts one region run (nodes/instances/shards)
+``fleet.shard``           one region shard's results were collected
+``fleet.region.end``      a region run finished (aggregate counters)
 ========================  ==================================================
 
 Determinism rules: ``seq`` and every payload field are pure functions of
@@ -82,6 +86,9 @@ FSCK_BEGIN = "fsck.begin"
 FSCK_REPAIR = "fsck.repair"
 FSCK_EVICT = "fsck.evict"
 FSCK_END = "fsck.end"
+FLEET_REGION_BEGIN = "fleet.region.begin"
+FLEET_SHARD = "fleet.shard"
+FLEET_REGION_END = "fleet.region.end"
 
 KINDS = frozenset({
     SWEEP_BEGIN, SWEEP_END,
@@ -91,6 +98,7 @@ KINDS = frozenset({
     RETRY,
     JOB_DEADLINE, WORKER_KILL,
     FSCK_BEGIN, FSCK_REPAIR, FSCK_EVICT, FSCK_END,
+    FLEET_REGION_BEGIN, FLEET_SHARD, FLEET_REGION_END,
 })
 
 #: Top-level JSON keys that payload fields may not shadow.

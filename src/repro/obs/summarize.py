@@ -90,6 +90,10 @@ class TraceSummary:
     worker_kills: int = 0
     fsck_repairs: int = 0
     fsck_evictions: int = 0
+    fleet_regions: int = 0
+    fleet_shards: int = 0
+    fleet_invocations: int = 0
+    fleet_dropped: int = 0
     timings: Dict[str, JobTiming] = field(default_factory=dict)
 
     @property
@@ -185,6 +189,13 @@ def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
             summary.fsck_repairs += 1
         elif kind == records.FSCK_EVICT:
             summary.fsck_evictions += 1
+        elif kind == records.FLEET_REGION_BEGIN:
+            summary.fleet_regions += 1
+        elif kind == records.FLEET_SHARD:
+            summary.fleet_shards += 1
+        elif kind == records.FLEET_REGION_END:
+            summary.fleet_invocations += int(fields.get("invocations", 0))
+            summary.fleet_dropped += int(fields.get("dropped", 0))
     if saw_sweep_end:
         checks = [
             ("cache.hit", summary.cache_hits, reported_hits),
@@ -235,6 +246,13 @@ def render_summary(summary: TraceSummary, slowest: int = 5) -> str:
             ("fsck evictions", summary.fsck_evictions)):
         if count:
             lines.append(f"{label:<17} {count}")
+    # Fleet counters only appear when a region was actually simulated.
+    if summary.fleet_regions:
+        lines.append(f"fleet regions     {summary.fleet_regions}")
+        lines.append(f"fleet shards      {summary.fleet_shards}")
+        lines.append(f"fleet invocations {summary.fleet_invocations}")
+        if summary.fleet_dropped:
+            lines.append(f"fleet dropped     {summary.fleet_dropped}")
     slow = summary.slowest(slowest)
     if slow:
         lines.append("slowest cells:")
@@ -276,6 +294,12 @@ def summary_to_json(summary: TraceSummary,
         "fsck": {
             "repairs": summary.fsck_repairs,
             "evictions": summary.fsck_evictions,
+        },
+        "fleet": {
+            "regions": summary.fleet_regions,
+            "shards": summary.fleet_shards,
+            "invocations": summary.fleet_invocations,
+            "dropped": summary.fleet_dropped,
         },
         "retries": summary.retries,
         "failures": summary.failures,

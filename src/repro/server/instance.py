@@ -37,6 +37,11 @@ class WarmInstance:
     iats_ms: List[float] = field(default_factory=list)
     #: Jukebox metadata resident in instance memory (two buffers).
     jukebox_metadata_bytes: int = 0
+    #: Multiplier on the server's mean service time for this instance
+    #: (per-function heterogeneity; Jukebox-on fleets scale it down by
+    #: the function's capacity uplift).  1.0 preserves legacy timing
+    #: exactly.
+    service_scale: float = 1.0
 
     @property
     def memory_bytes(self) -> int:

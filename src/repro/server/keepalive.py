@@ -56,6 +56,12 @@ class HistogramTTL(KeepAlivePolicy):
             raise ConfigurationError(f"percentile out of range: {percentile}")
         if margin < 1.0:
             raise ConfigurationError(f"margin must be >= 1: {margin}")
+        if default_ttl_minutes <= 0:
+            raise ConfigurationError(
+                f"default TTL must be positive: {default_ttl_minutes}")
+        if max_ttl_minutes <= 0:
+            raise ConfigurationError(
+                f"max TTL must be positive: {max_ttl_minutes}")
         self.percentile = percentile
         self.margin = margin
         self._default_ms = default_ttl_minutes * 60_000.0

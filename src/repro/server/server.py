@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -41,6 +42,42 @@ class ServerConfig:
     service_time_ms: float = 1.0
     #: Per-instance Jukebox metadata (two buffers x 16KB = 32KB).
     jukebox_metadata_bytes_per_instance: int = 32 * 1024
+    #: When True the simulator tracks the *warm set* (instances invoked
+    #: within their keep-alive TTL), frees memory on eviction, and drops
+    #: cold arrivals that no longer fit in ``memory_gb`` -- the fleet
+    #: admission model.  The default False keeps the legacy behaviour
+    #: (all registered instances resident, nothing ever dropped)
+    #: bit-for-bit.
+    enforce_memory: bool = False
+    #: Extra service latency charged to a cold-started invocation
+    #: (container/runtime bring-up).  0.0 keeps legacy timing exact.
+    cold_start_penalty_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(
+                f"cores must be positive, got {self.cores}")
+        if self.memory_gb <= 0:
+            raise ConfigurationError(
+                f"memory_gb must be positive, got {self.memory_gb}")
+        if not math.isfinite(self.service_time_ms) \
+                or self.service_time_ms <= 0:
+            raise ConfigurationError(
+                f"service_time_ms must be a finite positive number, got "
+                f"{self.service_time_ms}")
+        if self.jukebox_metadata_bytes_per_instance < 0:
+            raise ConfigurationError(
+                f"jukebox metadata bytes must be >= 0, got "
+                f"{self.jukebox_metadata_bytes_per_instance}")
+        if not math.isfinite(self.cold_start_penalty_ms) \
+                or self.cold_start_penalty_ms < 0:
+            raise ConfigurationError(
+                f"cold_start_penalty_ms must be finite and >= 0, got "
+                f"{self.cold_start_penalty_ms}")
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.memory_gb * 1024 * MB
 
 
 @dataclass
@@ -48,11 +85,20 @@ class ServerStats:
     """Aggregate results of one server simulation."""
 
     simulated_ms: float = 0.0
+    #: Arrival events inside the simulated window (served + dropped).
+    arrivals: int = 0
     invocations: int = 0
     cold_starts: int = 0
+    #: Arrivals rejected by memory admission (``enforce_memory`` only).
+    dropped: int = 0
     evictions: int = 0
     interleave_degrees: List[int] = field(default_factory=list)
     iats_ms: List[float] = field(default_factory=list)
+    #: Per-served-invocation end-to-end latency: queueing wait + service
+    #: (+ cold-start penalty when the invocation cold-started).
+    latencies_ms: List[float] = field(default_factory=list)
+    #: Total core-busy time (sum of all service durations).
+    busy_ms: float = 0.0
     peak_warm_instances: int = 0
     peak_memory_bytes: int = 0
     jukebox_metadata_bytes: int = 0
@@ -62,6 +108,15 @@ class ServerStats:
         if self.invocations == 0:
             return 0.0
         return 1.0 - self.cold_starts / self.invocations
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(self.latencies_ms, q))
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.latency_percentile(99.0)
 
     def mean_interleaving(self) -> float:
         if not self.interleave_degrees:
@@ -97,13 +152,19 @@ class ServerSimulator:
 
     def add_instance(self, profile: FunctionProfile,
                      arrivals: ArrivalProcess,
-                     instance_id: Optional[str] = None) -> WarmInstance:
+                     instance_id: Optional[str] = None,
+                     service_scale: float = 1.0) -> WarmInstance:
         """Register one function instance with its arrival process."""
         if instance_id is None:
             instance_id = f"{profile.abbrev}#{len(self._instances)}"
         if instance_id in self._instances:
             raise ConfigurationError(f"duplicate instance id {instance_id!r}")
-        inst = WarmInstance(instance_id=instance_id, profile=profile)
+        if not math.isfinite(service_scale) or service_scale <= 0:
+            raise ConfigurationError(
+                f"service_scale must be a finite positive number, got "
+                f"{service_scale}")
+        inst = WarmInstance(instance_id=instance_id, profile=profile,
+                            service_scale=service_scale)
         inst.allocate_jukebox_metadata(
             self.config.jukebox_metadata_bytes_per_instance // 2)
         self._instances[instance_id] = inst
@@ -124,15 +185,71 @@ class ServerSimulator:
     # ------------------------------------------------------------------
 
     def run(self, duration_ms: float) -> ServerStats:
-        """Simulate invocation traffic for ``duration_ms``."""
+        """Simulate invocation traffic for ``duration_ms``.
+
+        Two admission models share this loop.  The legacy model
+        (``enforce_memory=False``) keeps every registered instance
+        resident and detects eviction lazily at the instance's own next
+        arrival; it is bit-identical to the pre-fleet simulator.  The
+        fleet model (``enforce_memory=True``) maintains the *warm set*
+        explicitly: evictions are reaped from a TTL expiry heap as
+        simulated time advances, eviction frees the instance's memory,
+        and a cold arrival that no longer fits in ``memory_gb`` is
+        *dropped* (counted, not served).  Either way every arrival is
+        exactly one of served or dropped -- the conservation invariant
+        the fleet property battery checks.
+        """
         if duration_ms <= 0:
             raise ConfigurationError(f"duration must be positive: {duration_ms}")
         cfg = self.config
         stats = self.stats
+        enforce = cfg.enforce_memory
         # Event heap of (time, tiebreak, instance_id).
         heap: List[Tuple[float, int, str]] = []
         for iid, proc in self._arrivals.items():
             heapq.heappush(heap, (proc.next_iat(), next(self._counter), iid))
+
+        # Warm-set bookkeeping (enforce_memory only).  ``_expiry_at``
+        # dedups the lazy TTL heap: an entry is live only while it equals
+        # the instance's scheduled expiry, so re-invocations never let
+        # the heap grow past one live entry per warm instance.
+        capacity = cfg.memory_bytes
+        warm: Set[str] = set()
+        warm_mem = 0
+        peak_warm = 0
+        peak_mem = 0
+        expiry_heap: List[Tuple[float, int, str]] = []
+        expiry_at: Dict[str, float] = {}
+
+        def schedule_expiry(iid: str, now: float) -> None:
+            expiry = now + self.keepalive.ttl_ms(iid)
+            expiry_at[iid] = expiry
+            heapq.heappush(expiry_heap, (expiry, next(self._counter), iid))
+
+        def reap_expired(now: float) -> None:
+            """Evict warm instances whose idle time exceeded their TTL."""
+            nonlocal warm_mem
+            while expiry_heap and expiry_heap[0][0] <= now:
+                expiry, _tb, iid2 = heapq.heappop(expiry_heap)
+                if iid2 not in warm or expiry_at.get(iid2) != expiry:
+                    continue  # evicted or superseded by a later invocation
+                inst2 = self._instances[iid2]
+                idle2 = now - inst2.last_invocation_ms
+                if self.keepalive.should_evict(iid2, idle2):
+                    warm.discard(iid2)
+                    del expiry_at[iid2]
+                    warm_mem -= inst2.memory_bytes
+                    stats.evictions += 1
+                else:
+                    # TTL moved (adaptive policy) or boundary equality:
+                    # re-schedule strictly after ``now`` so reaping always
+                    # progresses.
+                    retry = max(inst2.last_invocation_ms
+                                + self.keepalive.ttl_ms(iid2),
+                                math.nextafter(now, math.inf))
+                    expiry_at[iid2] = retry
+                    heapq.heappush(expiry_heap,
+                                   (retry, next(self._counter), iid2))
 
         core_busy_until = [0.0] * cfg.cores
         global_seq = 0
@@ -141,21 +258,43 @@ class ServerSimulator:
             if now > duration_ms:
                 break
             inst = self._instances[iid]
-            # Keep-alive check: was the instance evicted while idle?
-            idle = inst.idle_ms(now)
+            stats.arrivals += 1
             cold = False
-            if inst.invocations > 0 and self.keepalive.should_evict(iid, idle):
-                cold = True
-                stats.evictions += 1
+            if enforce:
+                reap_expired(now)
+                if iid not in warm:
+                    # Cold arrival: admit if it fits, else drop.
+                    if warm_mem + inst.memory_bytes > capacity:
+                        stats.dropped += 1
+                        nxt = now + self._arrivals[iid].next_iat()
+                        if nxt <= duration_ms:
+                            heapq.heappush(
+                                heap, (nxt, next(self._counter), iid))
+                        continue
+                    cold = True
+                    warm.add(iid)
+                    warm_mem += inst.memory_bytes
+            else:
+                # Legacy lazy check: was the instance evicted while idle?
+                idle = inst.idle_ms(now)
+                if inst.invocations > 0 and self.keepalive.should_evict(iid,
+                                                                        idle):
+                    cold = True
+                    stats.evictions += 1
             if inst.last_invocation_ms is not None:
                 self.keepalive.observe_iat(iid, now - inst.last_invocation_ms)
                 stats.iats_ms.append(now - inst.last_invocation_ms)
 
             # Least-loaded core placement.
             core = int(np.argmin(core_busy_until))
-            service = self._rng.exponential(cfg.service_time_ms)
+            service = self._rng.exponential(
+                cfg.service_time_ms * inst.service_scale)
+            penalty = cfg.cold_start_penalty_ms if cold else 0.0
             start = max(now, core_busy_until[core])
-            core_busy_until[core] = start + service
+            completion = start + service + penalty
+            core_busy_until[core] = completion
+            stats.busy_ms += service + penalty
+            stats.latencies_ms.append(completion - now)
 
             inst.record_invocation(now, global_seq, core, cold=cold)
             global_seq += 1
@@ -164,15 +303,23 @@ class ServerSimulator:
                 stats.cold_starts += 1
             if inst.interleave_degrees:
                 stats.interleave_degrees.append(inst.interleave_degrees[-1])
+            if enforce:
+                schedule_expiry(iid, now)
+                peak_warm = max(peak_warm, len(warm))
+                peak_mem = max(peak_mem, warm_mem)
 
             nxt = now + self._arrivals[iid].next_iat()
             if nxt <= duration_ms:
                 heapq.heappush(heap, (nxt, next(self._counter), iid))
 
         stats.simulated_ms = duration_ms
-        stats.peak_warm_instances = len(self._instances)
-        stats.peak_memory_bytes = sum(
-            inst.memory_bytes for inst in self._instances.values())
+        if enforce:
+            stats.peak_warm_instances = peak_warm
+            stats.peak_memory_bytes = peak_mem
+        else:
+            stats.peak_warm_instances = len(self._instances)
+            stats.peak_memory_bytes = sum(
+                inst.memory_bytes for inst in self._instances.values())
         stats.jukebox_metadata_bytes = sum(
             inst.jukebox_metadata_bytes for inst in self._instances.values())
         return stats

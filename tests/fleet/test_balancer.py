@@ -1,0 +1,157 @@
+"""Placement policies and the Zipf popularity model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.balancer import PlacementState, make_balancer
+from repro.fleet.config import BALANCER_NAMES, FleetConfig
+from repro.fleet.plan import plan_region
+from repro.fleet.popularity import (
+    JUKEBOX_UPLIFT,
+    instances_per_function,
+    service_scale,
+    zipf_weights,
+)
+from repro.workloads.profiles import LANG_GO, LANG_NODEJS, LANG_PYTHON
+
+
+class TestBalancers:
+    def test_round_robin_rotates(self):
+        state = PlacementState(nodes=4)
+        rr = make_balancer("round-robin")
+        placed = [rr.place(f, 0.1, state) for f in range(8)]
+        assert placed == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_least_loaded_prefers_emptiest_node(self):
+        state = PlacementState(nodes=3)
+        state.record(0, 0, 0.5)
+        state.record(1, 1, 0.2)
+        ll = make_balancer("least-loaded")
+        assert ll.place(2, 0.1, state) == 2
+
+    def test_least_loaded_ties_break_low(self):
+        state = PlacementState(nodes=3)
+        ll = make_balancer("least-loaded")
+        assert ll.place(0, 0.1, state) == 0
+
+    def test_affinity_colocates_same_function(self):
+        state = PlacementState(nodes=4)
+        aff = make_balancer("function-affinity")
+        first = aff.place(7, 0.1, state)
+        state.record(7, first, 0.1)
+        # Pile load on the affinity node: the function still sticks.
+        state.record(99, first, 5.0)
+        assert aff.place(7, 0.1, state) == first
+
+    def test_affinity_falls_back_to_least_loaded(self):
+        state = PlacementState(nodes=3)
+        state.record(0, 0, 1.0)
+        aff = make_balancer("function-affinity")
+        assert aff.place(42, 0.1, state) in (1, 2)
+
+    def test_random_is_seeded_and_in_range(self):
+        state = PlacementState(nodes=5)
+        a = make_balancer("random", seed=11)
+        b = make_balancer("random", seed=11)
+        seq_a = [a.place(f, 0.1, state) for f in range(64)]
+        seq_b = [b.place(f, 0.1, state) for f in range(64)]
+        assert seq_a == seq_b
+        assert all(0 <= n < 5 for n in seq_a)
+        assert len(set(seq_a)) == 5
+
+    def test_unknown_balancer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_balancer("power-of-two")
+
+    def test_rejects_nonpositive_nodes(self):
+        with pytest.raises(ConfigurationError):
+            PlacementState(nodes=0)
+
+
+class TestPopularity:
+    def test_zipf_weights_normalized_and_decreasing(self):
+        weights = zipf_weights(20, 1.1)
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_allotment_sums_exactly(self):
+        for functions, instances in ((20, 800), (7, 13), (40, 101), (3, 3)):
+            counts = instances_per_function(functions, instances, 1.1)
+            assert sum(counts) == instances
+            assert all(c >= 0 for c in counts)
+
+    def test_allotment_skews_to_popular_functions(self):
+        counts = instances_per_function(20, 800, 1.1)
+        assert counts[0] > counts[-1]
+
+    def test_allotment_deterministic(self):
+        assert instances_per_function(20, 800, 1.1) \
+            == instances_per_function(20, 800, 1.1)
+
+    def test_uniform_alpha_zero(self):
+        counts = instances_per_function(10, 100, 0.0)
+        assert counts == [10] * 10
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0, 1.1)
+        with pytest.raises(ConfigurationError):
+            instances_per_function(10, 0, 1.1)
+
+    def test_service_scale_positive_and_jukebox_smaller(self):
+        for f in range(40):
+            base = service_scale(f, jukebox=False)
+            jb = service_scale(f, jukebox=True)
+            assert base > 0
+            assert jb < base
+
+    def test_uplift_ordering_matches_fig10(self):
+        assert JUKEBOX_UPLIFT[LANG_GO] > JUKEBOX_UPLIFT[LANG_NODEJS] \
+            > JUKEBOX_UPLIFT[LANG_PYTHON]
+
+
+class TestPlanRegion:
+    def test_every_instance_placed_exactly_once(self):
+        cfg = FleetConfig(nodes=6, instances=200, functions=15)
+        plan = plan_region(cfg)
+        assert sorted(plan) == list(range(cfg.nodes))
+        ids = [spec.global_id for specs in plan.values() for spec in specs]
+        assert sorted(ids) == list(range(cfg.instances))
+
+    def test_plan_is_pure_function_of_config(self):
+        cfg = FleetConfig(nodes=4, instances=100, balancer="least-loaded")
+        assert plan_region(cfg) == plan_region(cfg)
+
+    @pytest.mark.parametrize("balancer", BALANCER_NAMES)
+    def test_all_balancers_produce_valid_plans(self, balancer):
+        cfg = FleetConfig(nodes=5, instances=120, balancer=balancer)
+        plan = plan_region(cfg)
+        total = sum(len(specs) for specs in plan.values())
+        assert total == cfg.instances
+        for node, specs in plan.items():
+            for spec in specs:
+                assert spec.node == node
+
+    def test_round_robin_plan_is_balanced(self):
+        cfg = FleetConfig(nodes=8, instances=200, balancer="round-robin")
+        sizes = [len(s) for s in plan_region(cfg).values()]
+        assert max(sizes) == min(sizes)  # 200 / 8 exactly
+
+    def test_affinity_concentrates_functions(self):
+        cfg = FleetConfig(nodes=8, instances=400, functions=10,
+                          balancer="function-affinity")
+        plan = plan_region(cfg)
+        nodes_by_function = {}
+        for specs in plan.values():
+            for spec in specs:
+                nodes_by_function.setdefault(spec.function_id,
+                                             set()).add(spec.node)
+        # Affinity pins each function to exactly one node.
+        assert all(len(nodes) == 1 for nodes in nodes_by_function.values())
+
+    def test_instance_ids_are_stable_and_unique(self):
+        cfg = FleetConfig(nodes=4, instances=50)
+        plan = plan_region(cfg)
+        ids = [spec.instance_id for specs in plan.values() for spec in specs]
+        assert len(set(ids)) == len(ids)
+        assert all(i.startswith("f") and "/i" in i for i in ids)

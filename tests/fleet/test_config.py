@@ -1,0 +1,107 @@
+"""FleetConfig validation and shard-partition properties."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.config import (
+    BALANCER_NAMES,
+    KEEPALIVE_NAMES,
+    FleetConfig,
+    shard_bounds,
+    shard_node_ids,
+)
+
+
+class TestFleetConfigValidation:
+    def test_defaults_are_valid(self):
+        cfg = FleetConfig()
+        assert cfg.total_cores == cfg.nodes * cfg.cores_per_node
+
+    @pytest.mark.parametrize("field", [
+        "nodes", "cores_per_node", "memory_gb_per_node", "functions",
+        "instances",
+    ])
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_rejects_nonpositive_counts(self, field, value):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(**{field: value})
+
+    @pytest.mark.parametrize("field", [
+        "service_time_ms", "duration_ms", "mean_iat_ms", "ttl_minutes",
+    ])
+    @pytest.mark.parametrize("value",
+                             [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_nonfinite_or_nonpositive_times(self, field, value):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(**{field: value})
+
+    @pytest.mark.parametrize("value", [-1.0, float("nan"), float("inf")])
+    def test_rejects_bad_cold_start_penalty(self, value):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(cold_start_penalty_ms=value)
+
+    def test_zero_penalty_allowed(self):
+        assert FleetConfig(cold_start_penalty_ms=0.0).cold_start_penalty_ms \
+            == 0.0
+
+    @pytest.mark.parametrize("value", [-0.1, float("nan")])
+    def test_rejects_bad_zipf_alpha(self, value):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(zipf_alpha=value)
+
+    def test_rejects_unknown_names(self):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(arrival="weibull")
+        with pytest.raises(ConfigurationError):
+            FleetConfig(balancer="power-of-two")
+        with pytest.raises(ConfigurationError):
+            FleetConfig(keepalive="lru")
+
+    @pytest.mark.parametrize("balancer", BALANCER_NAMES)
+    @pytest.mark.parametrize("keepalive", KEEPALIVE_NAMES)
+    def test_all_policy_names_accepted(self, balancer, keepalive):
+        cfg = FleetConfig(balancer=balancer, keepalive=keepalive)
+        assert cfg.balancer == balancer
+
+    def test_replace_revalidates(self):
+        cfg = FleetConfig()
+        with pytest.raises(ConfigurationError):
+            cfg.replace(nodes=0)
+
+    def test_abbrev_distinguishes_jukebox(self):
+        base = FleetConfig()
+        assert base.abbrev != base.replace(jukebox=True).abbrev
+        assert base.abbrev.startswith("fleet-")
+
+
+class TestShardBounds:
+    def test_partitions_every_node_exactly_once(self):
+        rng = random.Random(42)
+        for _ in range(200):
+            nodes = rng.randrange(1, 64)
+            shards = rng.randrange(1, nodes + 1)
+            covered = []
+            for shard in range(shards):
+                covered.extend(shard_node_ids(nodes, shard, shards))
+            assert covered == list(range(nodes)), (nodes, shards)
+
+    def test_near_equal_split(self):
+        rng = random.Random(7)
+        for _ in range(100):
+            nodes = rng.randrange(1, 64)
+            shards = rng.randrange(1, nodes + 1)
+            sizes = [len(shard_node_ids(nodes, shard, shards))
+                     for shard in range(shards)]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_invalid_sharding(self):
+        with pytest.raises(ConfigurationError):
+            shard_bounds(4, 0, 0)
+        with pytest.raises(ConfigurationError):
+            shard_bounds(4, 4, 4)
+        with pytest.raises(ConfigurationError):
+            shard_bounds(4, -1, 4)
+        with pytest.raises(ConfigurationError):
+            shard_bounds(4, 0, 5)

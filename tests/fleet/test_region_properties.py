@@ -1,0 +1,133 @@
+"""Seeded property tests: the fleet's conservation invariants.
+
+Configurations are generated with stdlib ``random.Random`` from fixed
+master seeds, so every run checks the same population and a failure
+reproduces exactly.  The invariants:
+
+* every arrival is exactly one of served or dropped
+  (``arrivals == invocations + dropped``, per node and region-wide);
+* a node's warm set never exceeds its memory capacity;
+* an instance is only evicted when its idle time exceeds its TTL.
+"""
+
+import random
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.node import build_node
+from repro.fleet.plan import plan_region
+from repro.fleet.region import simulate_region
+from repro.server.keepalive import KeepAlivePolicy
+
+
+def _random_config(rng: random.Random) -> FleetConfig:
+    return FleetConfig(
+        nodes=rng.randrange(1, 5),
+        cores_per_node=rng.randrange(2, 12),
+        memory_gb_per_node=rng.choice([1, 2, 64]),
+        functions=rng.randrange(3, 25),
+        instances=rng.randrange(20, 150),
+        duration_ms=rng.choice([5_000.0, 15_000.0]),
+        mean_iat_ms=rng.choice([200.0, 1_000.0, 4_000.0]),
+        arrival=rng.choice(["poisson", "bursty", "diurnal"]),
+        balancer=rng.choice(["random", "round-robin", "least-loaded",
+                             "function-affinity"]),
+        keepalive=rng.choice(["fixed", "histogram"]),
+        ttl_minutes=rng.choice([0.05, 1.0, 10.0]),
+        jukebox=rng.random() < 0.5,
+        seed=rng.randrange(1, 10_000),
+    )
+
+
+def test_every_arrival_served_or_dropped():
+    rng = random.Random(1009)
+    for _ in range(8):
+        cfg = _random_config(rng)
+        result = simulate_region(cfg)
+        region = result["region"]
+        assert region["arrivals"] == \
+            region["invocations"] + region["dropped"], cfg
+        for node in result["node_results"]:
+            assert node["arrivals"] == \
+                node["invocations"] + node["dropped"], (cfg, node["node"])
+            # Served latencies account for every invocation, exactly.
+            assert sum(c for _b, c in node["latency_pairs"]) \
+                == node["invocations"]
+
+
+def test_node_memory_never_exceeds_capacity():
+    rng = random.Random(2003)
+    saw_drop = False
+    for _ in range(8):
+        cfg = _random_config(rng)
+        capacity = cfg.memory_gb_per_node * 1024 * 1024 * 1024
+        result = simulate_region(cfg)
+        for node in result["node_results"]:
+            assert 0 <= node["peak_memory_bytes"] <= capacity, cfg
+        saw_drop = saw_drop or result["region"]["dropped"] > 0
+    # The population must include memory-constrained regions, otherwise
+    # the capacity bound is vacuous.
+    assert saw_drop
+
+
+def test_overcommitted_node_drops_but_conserves():
+    """~25MB/instance: 100 instances cannot fit a 1GB node."""
+    cfg = FleetConfig(nodes=1, memory_gb_per_node=1, instances=100,
+                      functions=10, duration_ms=10_000.0,
+                      mean_iat_ms=500.0, seed=5)
+    region = simulate_region(cfg)["region"]
+    assert region["dropped"] > 0
+    assert region["arrivals"] == region["invocations"] + region["dropped"]
+    capacity = cfg.memory_gb_per_node * 1024 * 1024 * 1024
+    assert region["peak_memory_bytes"] <= capacity
+
+
+class _EvictionAudit(KeepAlivePolicy):
+    """Proxy keep-alive recording every eviction decision it grants."""
+
+    def __init__(self, inner: KeepAlivePolicy) -> None:
+        self.inner = inner
+        self.evictions = []
+
+    def ttl_ms(self, function_id: str) -> float:
+        return self.inner.ttl_ms(function_id)
+
+    def observe_iat(self, function_id: str, iat_ms: float) -> None:
+        self.inner.observe_iat(function_id, iat_ms)
+
+    def should_evict(self, function_id: str, idle_ms: float) -> bool:
+        evict = self.inner.should_evict(function_id, idle_ms)
+        if evict:
+            self.evictions.append(
+                (function_id, idle_ms, self.inner.ttl_ms(function_id)))
+        return evict
+
+
+def test_eviction_only_when_idle_exceeds_ttl():
+    rng = random.Random(3001)
+    total_evictions = 0
+    for _ in range(4):
+        cfg = _random_config(rng).replace(ttl_minutes=0.02)  # 1.2s TTL
+        plan = plan_region(cfg)
+        for node_id in range(cfg.nodes):
+            sim = build_node(cfg, node_id, plan[node_id])
+            audit = _EvictionAudit(sim.keepalive)
+            sim.keepalive = audit
+            stats = sim.run(cfg.duration_ms)
+            assert stats.evictions <= len(audit.evictions)
+            for _fid, idle_ms, ttl_ms in audit.evictions:
+                assert idle_ms > ttl_ms
+            total_evictions += stats.evictions
+    # The aggressive TTL must actually exercise the eviction path.
+    assert total_evictions > 0
+
+
+def test_cold_starts_bounded_by_admissions():
+    rng = random.Random(4001)
+    for _ in range(6):
+        cfg = _random_config(rng)
+        region = simulate_region(cfg)["region"]
+        assert region["cold_starts"] <= region["invocations"]
+        # Every instance's first served invocation is a cold start, and
+        # re-warms only follow evictions.
+        assert region["cold_starts"] <= \
+            cfg.instances + region["evictions"], cfg

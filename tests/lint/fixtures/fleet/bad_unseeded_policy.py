@@ -1,0 +1,22 @@
+"""REPRO001/REPRO006 positive fixture: a placement policy drawing from
+unseeded global RNG state and stamping decisions with the host clock.
+Either defect makes two shards of the same region plan disagree."""
+
+import random
+import time
+
+import numpy as np
+
+
+class SloppyRandomBalancer:
+    def __init__(self, nodes):
+        self.nodes = nodes
+        self.rng = np.random.default_rng()
+
+    def place(self, function_id):
+        if random.random() < 0.5:
+            return random.randrange(self.nodes)
+        return int(self.rng.integers(self.nodes))
+
+    def stamp(self):
+        return time.time()

@@ -1,0 +1,21 @@
+"""REPRO001/REPRO006 negative fixture: the same policy with explicitly
+seeded generators and simulated time only."""
+
+import random
+
+import numpy as np
+
+
+class SeededRandomBalancer:
+    def __init__(self, nodes, seed):
+        self.nodes = nodes
+        self.coin = random.Random(seed)
+        self.rng = np.random.default_rng(seed + 1)
+
+    def place(self, function_id):
+        if self.coin.random() < 0.5:
+            return self.coin.randrange(self.nodes)
+        return int(self.rng.integers(self.nodes))
+
+    def stamp(self, now_ms):
+        return now_ms

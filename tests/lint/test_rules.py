@@ -87,6 +87,13 @@ class TestScopeKey:
         assert rule.applies_to("obs/tracer.py")
         assert rule.applies_to("obs/clock.py")
 
+    def test_wallclock_covers_fleet(self):
+        # Fleet shard results are content-addressed cache entries; a
+        # host-clock read anywhere in the region simulator poisons them.
+        rule = get_rule("REPRO006")
+        assert rule.applies_to("fleet/region.py")
+        assert rule.applies_to("fleet/balancer.py")
+
 
 class TestREPRO001:
     def test_positive(self, fixture_violations):
@@ -96,6 +103,18 @@ class TestREPRO001:
 
     def test_negative(self, fixture_violations):
         assert not _for_file(fixture_violations, "good_random.py")
+
+    def test_unseeded_placement_policy_flagged(self, fixture_violations):
+        # A fleet placement policy drawing from ambient RNG state (or the
+        # host clock) would make two shards plan the same region
+        # differently; both analyses must fire on it.
+        found = _for_file(fixture_violations, "bad_unseeded_policy.py")
+        assert {v.rule_id for v in found} == {"REPRO001", "REPRO006"}
+        assert sum(v.rule_id == "REPRO001" for v in found) == 3
+        assert sum(v.rule_id == "REPRO006" for v in found) == 1
+
+    def test_seeded_placement_policy_clean(self, fixture_violations):
+        assert not _for_file(fixture_violations, "good_seeded_policy.py")
 
 
 class TestREPRO002:

@@ -1,0 +1,111 @@
+"""Seeded property tests for the keep-alive policies (satellite of the
+fleet battery).
+
+Inputs are generated with stdlib ``random.Random`` from fixed master
+seeds: every run exercises the same population, and a failing case
+reproduces exactly from the seed.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.keepalive import FixedTTL, HistogramTTL
+
+
+def _random_iats(rng: random.Random, n: int) -> list:
+    return [rng.uniform(1.0, 600_000.0) for _ in range(n)]
+
+
+class TestHistogramTTLProperties:
+    def test_ttl_monotone_in_safety_margin(self):
+        """A larger margin never shortens the keep-alive window."""
+        rng = random.Random(501)
+        for _ in range(50):
+            iats = _random_iats(rng, rng.randrange(4, 60))
+            margins = sorted(rng.uniform(1.0, 3.0) for _ in range(3))
+            ttls = []
+            for margin in margins:
+                policy = HistogramTTL(margin=margin)
+                for iat in iats:
+                    policy.observe_iat("f", iat)
+                ttls.append(policy.ttl_ms("f"))
+            assert ttls == sorted(ttls), (margins, ttls)
+
+    def test_should_evict_consistent_with_ttl(self):
+        """should_evict(idle) is exactly idle > ttl_ms, for any policy
+        state and any idle time."""
+        rng = random.Random(502)
+        for _ in range(50):
+            policy = HistogramTTL(percentile=rng.uniform(50.0, 100.0),
+                                  margin=rng.uniform(1.0, 2.0))
+            for iat in _random_iats(rng, rng.randrange(0, 40)):
+                policy.observe_iat("f", iat)
+            ttl = policy.ttl_ms("f")
+            for _ in range(20):
+                idle = rng.uniform(0.0, 2.0 * ttl)
+                assert policy.should_evict("f", idle) == (idle > ttl)
+            # Boundary: exactly at the TTL is *not* evicted.
+            assert not policy.should_evict("f", ttl)
+
+    def test_ttl_bounded_by_max(self):
+        rng = random.Random(503)
+        policy = HistogramTTL(max_ttl_minutes=1.0)
+        for iat in _random_iats(rng, 100):
+            policy.observe_iat("f", iat)
+        assert policy.ttl_ms("f") <= 60_000.0
+
+    def test_few_observations_fall_back_to_default(self):
+        policy = HistogramTTL(default_ttl_minutes=7.0)
+        for iat in (10.0, 20.0, 30.0):  # below the 4-sample threshold
+            policy.observe_iat("f", iat)
+        assert policy.ttl_ms("f") == 7.0 * 60_000.0
+        assert policy.ttl_ms("never-seen") == 7.0 * 60_000.0
+
+    def test_per_function_isolation(self):
+        rng = random.Random(504)
+        policy = HistogramTTL()
+        for iat in _random_iats(rng, 50):
+            policy.observe_iat("busy", iat)
+        assert policy.ttl_ms("other") == policy._default_ms
+
+
+class TestFixedTTLProperties:
+    def test_should_evict_consistent_with_ttl(self):
+        rng = random.Random(505)
+        for _ in range(20):
+            minutes = rng.uniform(0.01, 60.0)
+            policy = FixedTTL(minutes)
+            ttl = policy.ttl_ms("f")
+            assert ttl == pytest.approx(minutes * 60_000.0)
+            for _ in range(10):
+                idle = rng.uniform(0.0, 2.0 * ttl)
+                assert policy.should_evict("f", idle) == (idle > ttl)
+
+
+class TestKeepAliveValidation:
+    @pytest.mark.parametrize("minutes", [0.0, -1.0, -0.001])
+    def test_fixed_ttl_rejects_nonpositive(self, minutes):
+        with pytest.raises(ConfigurationError):
+            FixedTTL(minutes)
+
+    @pytest.mark.parametrize("percentile", [0.0, -5.0, 100.5, 200.0])
+    def test_histogram_rejects_bad_percentile(self, percentile):
+        with pytest.raises(ConfigurationError):
+            HistogramTTL(percentile=percentile)
+
+    @pytest.mark.parametrize("margin", [0.99, 0.0, -1.0])
+    def test_histogram_rejects_margin_below_one(self, margin):
+        with pytest.raises(ConfigurationError):
+            HistogramTTL(margin=margin)
+
+    @pytest.mark.parametrize("minutes", [0.0, -2.0])
+    def test_histogram_rejects_nonpositive_default_ttl(self, minutes):
+        with pytest.raises(ConfigurationError):
+            HistogramTTL(default_ttl_minutes=minutes)
+
+    @pytest.mark.parametrize("minutes", [0.0, -2.0])
+    def test_histogram_rejects_nonpositive_max_ttl(self, minutes):
+        with pytest.raises(ConfigurationError):
+            HistogramTTL(max_ttl_minutes=minutes)

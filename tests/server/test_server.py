@@ -117,3 +117,94 @@ class TestServerSimulator:
         b = self.make_server(seed=9).run(5_000.0)
         assert a.invocations == b.invocations
         assert a.interleave_degrees == b.interleave_degrees
+
+
+class TestServerConfigValidation:
+    """Regression battery: malformed server parameters fail at
+    construction, not as NaN-poisoned results deep in a fleet sweep."""
+
+    @pytest.mark.parametrize("cores", [0, -1, -10])
+    def test_rejects_nonpositive_cores(self, cores):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(cores=cores)
+
+    @pytest.mark.parametrize("memory_gb", [0, -1])
+    def test_rejects_nonpositive_memory(self, memory_gb):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(memory_gb=memory_gb)
+
+    @pytest.mark.parametrize("service_time_ms",
+                             [0.0, -1.0, float("nan"), float("inf"),
+                              float("-inf")])
+    def test_rejects_bad_service_time(self, service_time_ms):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(service_time_ms=service_time_ms)
+
+    @pytest.mark.parametrize("penalty", [-0.001, float("nan"), float("inf")])
+    def test_rejects_bad_cold_start_penalty(self, penalty):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(cold_start_penalty_ms=penalty)
+
+    def test_rejects_negative_metadata_bytes(self):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(jukebox_metadata_bytes_per_instance=-1)
+
+    def test_defaults_are_valid(self):
+        cfg = ServerConfig()
+        assert cfg.cores == 10 and cfg.memory_gb == 64
+        assert cfg.memory_bytes == 64 * 1024 * MB
+
+    @pytest.mark.parametrize("scale", [0.0, -0.5, float("nan"), float("inf")])
+    def test_add_instance_rejects_bad_service_scale(self, scale):
+        server = ServerSimulator()
+        with pytest.raises(ConfigurationError):
+            server.add_instance(get_profile("Auth-G"), FixedIAT(100.0),
+                                "x", service_scale=scale)
+
+
+class TestEnforceMemory:
+    """The fleet admission model: warm-set tracking, memory-bounded
+    admission, and latency accounting."""
+
+    def overcommitted(self, seed=1):
+        server = ServerSimulator(
+            ServerConfig(cores=4, memory_gb=1, enforce_memory=True),
+            keepalive=FixedTTL(60.0), seed=seed)
+        server.populate(
+            SUITE, 100,
+            lambda i, p: PoissonArrivals(500.0, seed=seed * 1000 + i))
+        return server
+
+    def test_drops_when_memory_exhausted(self):
+        stats = self.overcommitted().run(20_000.0)
+        assert stats.dropped > 0
+        assert stats.arrivals == stats.invocations + stats.dropped
+
+    def test_peak_memory_within_capacity(self):
+        server = self.overcommitted()
+        stats = server.run(20_000.0)
+        assert stats.peak_memory_bytes <= server.config.memory_bytes
+
+    def test_legacy_path_never_drops(self):
+        server = ServerSimulator(ServerConfig(cores=4, memory_gb=1),
+                                 keepalive=FixedTTL(60.0), seed=1)
+        server.populate(
+            SUITE, 100, lambda i, p: PoissonArrivals(500.0, seed=1000 + i))
+        stats = server.run(20_000.0)
+        assert stats.dropped == 0
+        assert stats.arrivals == stats.invocations
+
+    def test_latencies_include_cold_start_penalty(self):
+        cfg = ServerConfig(cores=10, enforce_memory=True,
+                           cold_start_penalty_ms=250.0)
+        server = ServerSimulator(cfg, keepalive=FixedTTL(60.0), seed=2)
+        server.populate(
+            SUITE, 10, lambda i, p: PoissonArrivals(1000.0, seed=i))
+        stats = server.run(10_000.0)
+        assert len(stats.latencies_ms) == stats.invocations
+        assert stats.cold_starts > 0
+        # Every instance cold-starts once, so the max latency carries
+        # the penalty and the p99 sits at or above it.
+        assert max(stats.latencies_ms) >= 250.0
+        assert stats.p99_latency_ms >= 250.0
+        assert stats.busy_ms > 0
