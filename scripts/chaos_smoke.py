@@ -19,6 +19,11 @@ canonical-JSON results against an undisturbed serial baseline:
    region sweep (``tests.fleet.fleet_driver``) is SIGKILLed mid-shard,
    and the rerun must serve the checkpointed shards warm and aggregate
    to a byte-identical region result.
+6. **spectrum crash recovery** -- the cold→warm spectrum sweep
+   (``tests.coldstart.spectrum_driver``) is SIGKILLed mid-cell, and the
+   rerun must serve the checkpointed cells warm and print a
+   byte-identical grid -- the engine cache makes cold-start cells, with
+   their stateful page record/replay, as resumable as everything else.
 
 Run from the repo root with ``PYTHONPATH=src`` (check.sh does both).
 Exit status 0 on success; any assertion failure is a real regression in
@@ -188,6 +193,48 @@ def scenario_fleet_crash(tmp: Path) -> None:
           f"{hits} shards from cache)")
 
 
+def scenario_spectrum_crash(tmp: Path) -> None:
+    from tests.coldstart.spectrum_driver import (
+        drill_jobs,
+        result_line as spectrum_result_line,
+    )
+
+    # Undisturbed in-process ground truth (serial, uncached).
+    jobs = drill_jobs(SEED % 89)
+    with configure():
+        outcomes = sweep_outcomes(jobs)
+    expected = spectrum_result_line([dict(o.value) for o in outcomes])
+
+    cache_dir = tmp / "spectrum-crash"
+    kill_after = random.Random(SEED + 2).randrange(1, len(jobs))
+    cmd = [sys.executable, "-m", "tests.coldstart.spectrum_driver",
+           "--cache-dir", str(cache_dir), "--seed", str(SEED % 89)]
+    env = dict(os.environ,
+               PYTHONPATH=f"{ROOT / 'src'}{os.pathsep}{ROOT}")
+    victim = subprocess.Popen(cmd, cwd=ROOT, env=env,
+                              stdout=subprocess.PIPE, text=True)
+    seen = 0
+    for line in victim.stdout:
+        if line.startswith("cell "):
+            seen += 1
+            if seen >= kill_after:
+                victim.send_signal(signal.SIGKILL)
+                break
+    victim.wait()
+    assert victim.returncode == -signal.SIGKILL
+    rerun = subprocess.run(cmd, cwd=ROOT, env=env, capture_output=True,
+                           text=True, check=True)
+    lines = rerun.stdout.strip().splitlines()
+    got = next(l for l in lines if l.startswith("RESULT "))
+    stats = next(l for l in lines if l.startswith("STATS "))
+    assert got == expected, "post-SIGKILL spectrum resume changed the grid"
+    hits = int(stats.split("hits=")[1].split()[0])
+    assert hits >= kill_after, f"spectrum resume re-simulated cells: {stats}"
+    print(f"  spectrum crash recovery ok (SIGKILL after {kill_after}/"
+          f"{len(jobs)} cells, grid byte-identical, {hits} cells from "
+          f"cache)")
+
+
 def main() -> int:
     expected = baseline()
     with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
@@ -197,6 +244,7 @@ def main() -> int:
         scenario_fsck(expected, tmp)
         scenario_crash_recovery(expected, tmp)
         scenario_fleet_crash(tmp)
+        scenario_spectrum_crash(tmp)
     print("chaos smoke: all scenarios byte-identical to baseline")
     return 0
 

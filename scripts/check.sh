@@ -70,4 +70,14 @@ else
     python -m pytest -q
 fi
 
+echo "== coverage gate (scripts/coverage_gate.py) =="
+# Branch-coverage ratchet against the floor in coverage-baseline.json.
+# Skips cleanly (exit 0) where the 'coverage' package is not installed;
+# when skipped the pytest run above has already gated correctness.
+if [[ "${1:-}" == "--fast" ]]; then
+    python scripts/coverage_gate.py --fast
+else
+    python scripts/coverage_gate.py
+fi
+
 echo "OK: lint + tests passed"

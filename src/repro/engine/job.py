@@ -44,7 +44,7 @@ DEFAULT_PROVIDER = "repro.experiments.common"
 
 #: Package subtrees whose sources participate in :func:`code_version`:
 #: any edit to simulation behaviour must invalidate memoized results.
-_CODE_SUBTREES = ("sim", "core", "workloads", "server")
+_CODE_SUBTREES = ("sim", "core", "workloads", "server", "coldstart")
 _CODE_FILES = ("experiments/common.py",)
 
 

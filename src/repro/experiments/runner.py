@@ -39,6 +39,7 @@ from repro import engine
 from repro.errors import ConfigurationError
 from repro.experiments import (
     ext_fleet,
+    ext_spectrum,
     ext_throughput,
     fig01_iat,
     fig02_topdown,
@@ -105,6 +106,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "fleet": _experiment("fleet",
                          "extension: region-scale fleet capacity",
                          ext_fleet),
+    "spectrum": _experiment("spectrum",
+                            "extension: cold→lukewarm→warm frequency sweep",
+                            ext_spectrum),
 }
 
 

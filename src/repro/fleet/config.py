@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass, replace as _dc_replace
 from typing import Any, List, Tuple
 
+from repro.coldstart.model import COLDSTART_KINDS
 from repro.errors import ConfigurationError
 from repro.workloads.arrival import ARRIVAL_KINDS
 
@@ -46,8 +47,19 @@ class FleetConfig:
     #: heterogeneity multiplies this by the profile's instruction-count
     #: ratio against the suite mean.
     service_time_ms: float = 1.0
-    #: Extra latency charged to a cold-started invocation.
+    #: Extra latency charged to a cold-started invocation.  Under the
+    #: default ``coldstart="constant"`` model this scalar is the whole
+    #: cost (legacy-identical); the ``"spectrum"`` model replaces it
+    #: with library-init + page-restore decomposition per
+    #: :mod:`repro.coldstart`.
     cold_start_penalty_ms: float = 120.0
+    #: Cold-start model kind: one of
+    #: :data:`repro.coldstart.model.COLDSTART_KINDS`.
+    coldstart: str = "constant"
+    #: Spectrum-model knob: REAP page record/replay on restore.
+    page_replay: bool = True
+    #: Spectrum-model knob: trim eagerly-imported unused libraries.
+    init_trim: bool = False
     #: Distinct functions in the region (mapped onto the Table 2 suite
     #: round-robin for footprints and language mix).
     functions: int = 40
@@ -91,6 +103,10 @@ class FleetConfig:
             raise ConfigurationError(
                 f"cold_start_penalty_ms must be finite and >= 0, got "
                 f"{self.cold_start_penalty_ms}")
+        if self.coldstart not in COLDSTART_KINDS:
+            raise ConfigurationError(
+                f"unknown cold-start model {self.coldstart!r}; expected "
+                f"one of {', '.join(COLDSTART_KINDS)}")
         if not math.isfinite(self.zipf_alpha) or self.zipf_alpha < 0:
             raise ConfigurationError(
                 f"zipf_alpha must be finite and >= 0, got {self.zipf_alpha}")

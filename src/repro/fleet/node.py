@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.coldstart.model import ColdStartSpec
 from repro.errors import ConfigurationError
 from repro.fleet.config import FleetConfig
 from repro.fleet.plan import InstanceSpec, node_seed_for
@@ -31,6 +32,16 @@ def make_keepalive(config: FleetConfig) -> KeepAlivePolicy:
         f"unknown keep-alive policy {config.keepalive!r}")
 
 
+def make_coldstart_spec(config: FleetConfig) -> ColdStartSpec:
+    """The node-level cold-start model spec the fleet config selects."""
+    return ColdStartSpec(
+        kind=config.coldstart,
+        constant_ms=config.cold_start_penalty_ms,
+        page_replay=config.page_replay,
+        init_trim=config.init_trim,
+    )
+
+
 def build_node(config: FleetConfig, node: int,
                specs: List[InstanceSpec]) -> ServerSimulator:
     """Construct the node's simulator with all planned instances added."""
@@ -40,6 +51,7 @@ def build_node(config: FleetConfig, node: int,
         service_time_ms=config.service_time_ms,
         enforce_memory=True,
         cold_start_penalty_ms=config.cold_start_penalty_ms,
+        coldstart=make_coldstart_spec(config),
     )
     sim = ServerSimulator(config=server_cfg,
                           keepalive=make_keepalive(config),

@@ -425,8 +425,11 @@ class WallClock(Rule):
     #: as result-corrupting as inside ``sim/``.  ``fleet/`` joined with
     #: the region simulator: shard results are content-addressed cache
     #: entries, so any host-clock read there poisons the cache.
+    #: ``coldstart/`` joined with the spectrum model: restore and init
+    #: charges land inside memoized spectrum cells, so they must be pure
+    #: arithmetic over profiles -- never host-time measurements.
     scopes = ("sim/", "core/", "analysis/", "workloads/", "engine/",
-              "obs/", "server/", "experiments/", "fleet/")
+              "obs/", "server/", "experiments/", "fleet/", "coldstart/")
     description = ("wall-clock / nondeterministic call in a simulation "
                    "path; use simulated cycles and sorted listings")
 
@@ -561,16 +564,27 @@ class GlobalObservability(Rule):
     under test.  Construct observability objects inside a context
     (``engine.configure``), a fixture, or a ``field(default_factory=...)``
     -- never at import time.
+
+    Cold-start models are policed the same way: a
+    :class:`~repro.coldstart.model.SpectrumColdStart` (and the
+    :class:`PageReplayState`/:class:`SnapshotState` it owns) carries the
+    recorded page trace as mutable per-instance state, so a module-level
+    model shared across simulations would leak one run's working-set
+    recording into the next and break cache soundness.
     """
 
     id = "REPRO008"
     severity = "error"
-    description = ("module-level Tracer/MetricsRegistry singleton; "
-                   "observability must be injected per context, not "
-                   "ambient global state")
+    description = ("module-level Tracer/MetricsRegistry/ColdStartModel "
+                   "singleton; stateful collaborators must be injected "
+                   "per context, not ambient global state")
 
     _OBS_FACTORIES = frozenset({
         "Tracer", "NullTracer", "MetricsRegistry", "MemorySink", "JsonlSink",
+        # Cold-start model state (recorded page traces, snapshot images)
+        # is per-simulation; module-level construction shares it.
+        "ConstantColdStart", "SpectrumColdStart", "PageReplayState",
+        "SnapshotState", "make_coldstart_model",
     })
 
     def check(self, tree: ast.Module, source: str,
@@ -595,7 +609,7 @@ class GlobalObservability(Rule):
                     violations.append(self.violation(
                         call, path,
                         f"module-level {name}() creates an ambient "
-                        f"observability singleton; construct it inside an "
+                        f"stateful singleton; construct it inside an "
                         f"engine context, fixture, or default_factory "
                         f"instead",
                     ))

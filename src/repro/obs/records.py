@@ -40,6 +40,11 @@ kind                      emitted when
                           starts one region run (nodes/instances/shards)
 ``fleet.shard``           one region shard's results were collected
 ``fleet.region.end``      a region run finished (aggregate counters)
+``coldstart.sweep.begin`` :func:`repro.experiments.ext_spectrum.run`
+                          starts one spectrum sweep (functions/variants)
+``coldstart.point``       one (function, variant, IAT) spectrum cell was
+                          collected (regime + latency decomposition)
+``coldstart.sweep.end``   a spectrum sweep finished (point counts)
 ========================  ==================================================
 
 Determinism rules: ``seq`` and every payload field are pure functions of
@@ -89,6 +94,9 @@ FSCK_END = "fsck.end"
 FLEET_REGION_BEGIN = "fleet.region.begin"
 FLEET_SHARD = "fleet.shard"
 FLEET_REGION_END = "fleet.region.end"
+COLDSTART_SWEEP_BEGIN = "coldstart.sweep.begin"
+COLDSTART_POINT = "coldstart.point"
+COLDSTART_SWEEP_END = "coldstart.sweep.end"
 
 KINDS = frozenset({
     SWEEP_BEGIN, SWEEP_END,
@@ -99,6 +107,7 @@ KINDS = frozenset({
     JOB_DEADLINE, WORKER_KILL,
     FSCK_BEGIN, FSCK_REPAIR, FSCK_EVICT, FSCK_END,
     FLEET_REGION_BEGIN, FLEET_SHARD, FLEET_REGION_END,
+    COLDSTART_SWEEP_BEGIN, COLDSTART_POINT, COLDSTART_SWEEP_END,
 })
 
 #: Top-level JSON keys that payload fields may not shadow.

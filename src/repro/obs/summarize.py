@@ -94,6 +94,9 @@ class TraceSummary:
     fleet_shards: int = 0
     fleet_invocations: int = 0
     fleet_dropped: int = 0
+    coldstart_sweeps: int = 0
+    coldstart_points: int = 0
+    coldstart_cold_points: int = 0
     timings: Dict[str, JobTiming] = field(default_factory=dict)
 
     @property
@@ -196,6 +199,12 @@ def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
         elif kind == records.FLEET_REGION_END:
             summary.fleet_invocations += int(fields.get("invocations", 0))
             summary.fleet_dropped += int(fields.get("dropped", 0))
+        elif kind == records.COLDSTART_SWEEP_BEGIN:
+            summary.coldstart_sweeps += 1
+        elif kind == records.COLDSTART_POINT:
+            summary.coldstart_points += 1
+            if fields.get("regime") == "cold":
+                summary.coldstart_cold_points += 1
     if saw_sweep_end:
         checks = [
             ("cache.hit", summary.cache_hits, reported_hits),
@@ -253,6 +262,11 @@ def render_summary(summary: TraceSummary, slowest: int = 5) -> str:
         lines.append(f"fleet invocations {summary.fleet_invocations}")
         if summary.fleet_dropped:
             lines.append(f"fleet dropped     {summary.fleet_dropped}")
+    # Spectrum counters only appear when a sweep actually ran.
+    if summary.coldstart_sweeps:
+        lines.append(f"spectrum sweeps   {summary.coldstart_sweeps}")
+        lines.append(f"spectrum points   {summary.coldstart_points}")
+        lines.append(f"spectrum cold pts {summary.coldstart_cold_points}")
     slow = summary.slowest(slowest)
     if slow:
         lines.append("slowest cells:")
@@ -300,6 +314,11 @@ def summary_to_json(summary: TraceSummary,
             "shards": summary.fleet_shards,
             "invocations": summary.fleet_invocations,
             "dropped": summary.fleet_dropped,
+        },
+        "coldstart": {
+            "sweeps": summary.coldstart_sweeps,
+            "points": summary.coldstart_points,
+            "cold_points": summary.coldstart_cold_points,
         },
         "retries": summary.retries,
         "failures": summary.failures,

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.coldstart.model import ColdStartSpec, make_coldstart_model
 from repro.errors import ConfigurationError
 from repro.server.instance import WarmInstance
 from repro.server.keepalive import FixedTTL, KeepAlivePolicy
@@ -51,7 +52,13 @@ class ServerConfig:
     enforce_memory: bool = False
     #: Extra service latency charged to a cold-started invocation
     #: (container/runtime bring-up).  0.0 keeps legacy timing exact.
+    #: This scalar is the *constant* cold-start model; richer models are
+    #: selected via ``coldstart``.
     cold_start_penalty_ms: float = 0.0
+    #: Cold-start model selection.  None keeps the scalar penalty above
+    #: (wrapped in a constant model whose arithmetic is byte-identical
+    #: to the pre-model code path).
+    coldstart: Optional[ColdStartSpec] = None
 
     def __post_init__(self) -> None:
         if self.cores <= 0:
@@ -74,6 +81,18 @@ class ServerConfig:
             raise ConfigurationError(
                 f"cold_start_penalty_ms must be finite and >= 0, got "
                 f"{self.cold_start_penalty_ms}")
+        if self.coldstart is not None \
+                and not isinstance(self.coldstart, ColdStartSpec):
+            raise ConfigurationError(
+                f"coldstart must be a ColdStartSpec or None, got "
+                f"{type(self.coldstart).__name__}")
+
+    def coldstart_spec(self) -> ColdStartSpec:
+        """The effective model spec (scalar penalty when unset)."""
+        if self.coldstart is not None:
+            return self.coldstart
+        return ColdStartSpec(kind="constant",
+                             constant_ms=self.cold_start_penalty_ms)
 
     @property
     def memory_bytes(self) -> int:
@@ -102,6 +121,11 @@ class ServerStats:
     peak_warm_instances: int = 0
     peak_memory_bytes: int = 0
     jukebox_metadata_bytes: int = 0
+    #: Cold-start latency decomposition, accumulated over all cold
+    #: starts (the constant model books everything under ``other``).
+    coldstart_init_ms: float = 0.0
+    coldstart_page_ms: float = 0.0
+    coldstart_other_ms: float = 0.0
 
     @property
     def warm_fraction(self) -> float:
@@ -142,6 +166,7 @@ class ServerSimulator:
                  seed: int = 0) -> None:
         self.config = config if config is not None else ServerConfig()
         self.keepalive = keepalive if keepalive is not None else FixedTTL(10.0)
+        self.coldstart = make_coldstart_model(self.config.coldstart_spec())
         self._rng = np.random.default_rng(seed)
         self._instances: Dict[str, WarmInstance] = {}
         self._arrivals: Dict[str, ArrivalProcess] = {}
@@ -289,7 +314,14 @@ class ServerSimulator:
             core = int(np.argmin(core_busy_until))
             service = self._rng.exponential(
                 cfg.service_time_ms * inst.service_scale)
-            penalty = cfg.cold_start_penalty_ms if cold else 0.0
+            if cold:
+                charge = self.coldstart.cold_start(iid, inst.profile)
+                penalty = charge.total_ms
+                stats.coldstart_init_ms += charge.init_ms
+                stats.coldstart_page_ms += charge.page_ms
+                stats.coldstart_other_ms += charge.other_ms
+            else:
+                penalty = 0.0
             start = max(now, core_busy_until[core])
             completion = start + service + penalty
             core_busy_until[core] = completion

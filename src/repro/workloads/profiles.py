@@ -20,7 +20,7 @@ from dataclasses import dataclass, replace
 from typing import Dict
 
 from repro.errors import ConfigurationError
-from repro.units import KB
+from repro.units import KB, PAGE_SIZE
 
 LANG_PYTHON = "python"
 LANG_NODEJS = "nodejs"
@@ -84,6 +84,17 @@ class FunctionProfile:
     @property
     def data_ws_bytes(self) -> int:
         return self.data_ws_kb * KB
+
+    @property
+    def code_pages(self) -> int:
+        """4KB pages holding the instruction footprint (snapshot-restore
+        granularity; :mod:`repro.coldstart.pages` builds on this)."""
+        return -(-self.footprint_bytes // PAGE_SIZE)
+
+    @property
+    def data_pages(self) -> int:
+        """4KB pages holding the per-invocation data working set."""
+        return -(-self.data_ws_bytes // PAGE_SIZE)
 
     def scaled(self, instruction_scale: float) -> "FunctionProfile":
         """Return a profile with instruction volume scaled (used by fast

@@ -1,0 +1,80 @@
+"""A sacrificial spectrum-sweep driver for crash drills.
+
+The cold-start analogue of :mod:`tests.fleet.fleet_driver`: runs a small
+cold→lukewarm→warm sweep cell-by-cell against an on-disk result cache,
+printing one flushed ``cell <i> ok`` line as each cell's result is
+checkpointed and a final ``RESULT <canonical json>`` line for the whole
+grid.  The chaos smoke SIGKILLs it mid-sweep, reruns it, and asserts the
+rerun (a) serves the killed run's cells from the cache and (b) prints a
+RESULT line byte-identical to an undisturbed run.
+
+Serial on purpose: a SIGKILL leaves only the cache directory behind.
+Invoke as ``python -m tests.coldstart.spectrum_driver`` from the repo
+root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.engine import Job, canonicalize, configure, sweep_outcomes
+from repro.experiments import ext_spectrum
+from repro.experiments.common import RunConfig
+from repro.sim.params import skylake
+from repro.workloads.suite import get_profile
+
+#: The drill grid: spans all three regimes and both ends of the toggle
+#: space, small enough to run in seconds.
+DRILL_FUNCTIONS = ("Auth-G",)
+DRILL_VARIANTS = ("baseline", "all")
+DRILL_IATS_MS = (0.0, 1_000.0, 1_800_000.0)
+
+
+def drill_cfg(seed: int = 1) -> RunConfig:
+    return RunConfig(invocations=2, warmup=1, seed=seed,
+                     instruction_scale=0.25)
+
+
+def drill_jobs(seed: int = 1) -> List[Job]:
+    cfg = drill_cfg(seed)
+    machine = skylake()
+    return [Job.make(get_profile(abbrev), machine, cfg, "spectrum_point",
+                     provider=ext_spectrum.__name__, iat_ms=float(iat),
+                     ttl_ms=ext_spectrum.DEFAULT_TTL_MS, jukebox=jb,
+                     page_replay=pr, init_trim=it)
+            for abbrev in DRILL_FUNCTIONS
+            for (jb, pr, it) in (ext_spectrum.VARIANTS[v]
+                                 for v in DRILL_VARIANTS)
+            for iat in DRILL_IATS_MS]
+
+
+def result_line(cells: Sequence[dict]) -> str:
+    return "RESULT " + json.dumps(canonicalize(list(cells)),
+                                  sort_keys=True, separators=(",", ":"))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tests.coldstart.spectrum_driver")
+    parser.add_argument("--cache-dir", required=True)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    cells: List[dict] = []
+    with configure(cache_dir=args.cache_dir) as ctx:
+        for i, job in enumerate(drill_jobs(args.seed)):
+            [outcome] = sweep_outcomes([job])
+            cells.append(dict(outcome.value))
+            # One flushed line per checkpoint: the parent counts these to
+            # SIGKILL at an exact point in the schedule.
+            print(f"cell {i} ok", flush=True)
+        print(result_line(cells), flush=True)
+        print(f"STATS hits={ctx.stats.hits} misses={ctx.stats.misses}",
+              flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Golden spectrum snapshot + the issue's acceptance battery.
+
+``tests/golden/spectrum.json`` pins the full ``ext_spectrum`` result --
+every cell's latency decomposition across two Table-2 profiles, both
+ends of the toggle space, and all three regimes -- byte-exactly, the
+same contract as the figure and fleet goldens.  Regenerate intentional
+model changes with ``--update-golden`` and commit the diff.
+
+The acceptance tests assert the properties the spectrum exists to show:
+
+* the cold end is dominated by init + page-fault time, not execution;
+* the three toggles (Jukebox / page replay / init trim) each move a
+  *distinct* component of the decomposition;
+* the sweep is byte-identical serial, sharded (``jobs=2``), and resumed
+  from a warm engine cache.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import engine
+from repro.experiments import ext_spectrum
+from repro.experiments.common import RunConfig, run_config
+from repro.sim.params import skylake
+from repro.workloads.suite import get_profile
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "spectrum.json"
+
+#: Two Table-2 profiles spanning the language split (Go dense/compact,
+#: Python scattered with the heaviest import graph).
+GOLDEN_FUNCTIONS = ("Auth-G", "ProdL-G")
+GOLDEN_VARIANTS = ("baseline", "all")
+GOLDEN_IATS_MS = (0.0, 1_000.0, 1_800_000.0)  # warm / lukewarm / cold
+GOLDEN_CFG = RunConfig(invocations=3, warmup=1, seed=1,
+                       instruction_scale=0.25)
+
+COLD_IAT_MS = 1_800_000.0
+TTL_MS = ext_spectrum.DEFAULT_TTL_MS
+
+
+def golden_sweep() -> ext_spectrum.SpectrumResult:
+    return ext_spectrum.run(cfg=GOLDEN_CFG, functions=GOLDEN_FUNCTIONS,
+                            iats_ms=GOLDEN_IATS_MS,
+                            variants=GOLDEN_VARIANTS)
+
+
+def canonical_json(result: ext_spectrum.SpectrumResult) -> str:
+    payload = engine.canonicalize(dataclasses.asdict(result))
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def test_spectrum_matches_golden(update_golden):
+    actual = canonical_json(golden_sweep())
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(actual, encoding="utf-8")
+        pytest.skip("golden snapshot spectrum.json regenerated")
+    assert GOLDEN_PATH.exists(), (
+        "missing golden snapshot tests/golden/spectrum.json; generate it "
+        "with pytest --update-golden and commit it")
+    expected = GOLDEN_PATH.read_text(encoding="utf-8")
+    assert actual == expected, (
+        "spectrum sweep output drifted from its golden snapshot. If this "
+        "cold-start model change is intentional, rerun with "
+        "--update-golden and commit the regenerated spectrum.json; "
+        "otherwise spectrum determinism broke.")
+
+
+def test_golden_snapshot_is_canonical():
+    text = GOLDEN_PATH.read_text(encoding="utf-8")
+    payload = json.loads(text)
+    assert json.dumps(payload, sort_keys=True, indent=2) + "\n" == text
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: the cold end is init + page dominated.
+
+def _cold_cell(abbrev, **toggles):
+    return run_config(get_profile(abbrev), skylake(), GOLDEN_CFG,
+                      "spectrum_point", iat_ms=COLD_IAT_MS, ttl_ms=TTL_MS,
+                      **toggles)
+
+
+@pytest.mark.parametrize("abbrev", GOLDEN_FUNCTIONS)
+def test_cold_end_dominated_by_init_and_pages(abbrev):
+    cell = _cold_cell(abbrev)
+    assert cell["regime"] == "cold"
+    overhead = cell["init_ms"] + cell["page_ms"]
+    assert overhead / cell["latency_ms"] > 0.9, (
+        f"{abbrev}: cold latency should be init+page dominated, got "
+        f"{overhead:.2f} of {cell['latency_ms']:.2f}ms")
+    assert cell["init_ms"] > 0 and cell["page_ms"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: each toggle moves a distinct component.
+
+def test_jukebox_toggle_moves_only_execution():
+    base = _cold_cell("ProdL-G")
+    jb = _cold_cell("ProdL-G", jukebox=True)
+    assert jb["exec_ms"] != base["exec_ms"]
+    assert jb["init_ms"] == base["init_ms"]
+    assert jb["page_ms"] == base["page_ms"]
+
+
+def test_page_replay_toggle_moves_only_page_time():
+    base = _cold_cell("ProdL-G")
+    pr = _cold_cell("ProdL-G", page_replay=True)
+    assert pr["page_ms"] < base["page_ms"]
+    assert pr["init_ms"] == base["init_ms"]
+    assert pr["exec_ms"] == base["exec_ms"]
+
+
+def test_init_trim_toggle_moves_only_init_time():
+    base = _cold_cell("ProdL-G")
+    it = _cold_cell("ProdL-G", init_trim=True)
+    assert it["init_ms"] < base["init_ms"]
+    assert it["page_ms"] == base["page_ms"]
+    assert it["exec_ms"] == base["exec_ms"]
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: serial == sharded == cache-resumed, byte for byte.
+
+SMALL_FUNCTIONS = ("Auth-G",)
+SMALL_CFG = RunConfig(invocations=2, warmup=1, seed=1,
+                      instruction_scale=0.25)
+
+
+def _small_sweep() -> str:
+    result = ext_spectrum.run(cfg=SMALL_CFG, functions=SMALL_FUNCTIONS,
+                              iats_ms=GOLDEN_IATS_MS,
+                              variants=GOLDEN_VARIANTS)
+    return canonical_json(result)
+
+
+def test_sweep_identical_serial_sharded_and_resumed(tmp_path):
+    with engine.configure():
+        serial = _small_sweep()
+    with engine.configure(jobs=2):
+        sharded = _small_sweep()
+    assert sharded == serial, "parallel spectrum sweep diverged from serial"
+    cache_dir = tmp_path / "spectrum-cache"
+    with engine.configure(cache_dir=cache_dir) as cold_ctx:
+        first = _small_sweep()
+    assert cold_ctx.stats.misses > 0
+    with engine.configure(cache_dir=cache_dir) as warm_ctx:
+        resumed = _small_sweep()
+    assert warm_ctx.stats.misses == 0 and warm_ctx.stats.hits > 0, (
+        "resumed sweep did not come entirely from the engine cache")
+    assert first == serial and resumed == serial, (
+        "cache-resumed spectrum sweep diverged from serial")

@@ -30,7 +30,8 @@ def boom_experiment(monkeypatch):
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         expected = {f"fig{n:02d}" for n in (1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13)}
-        expected |= {"table1", "table2", "table3", "throughput", "fleet"}
+        expected |= {"table1", "table2", "table3", "throughput", "fleet",
+                     "spectrum"}
         assert set(EXPERIMENTS) == expected
 
     def test_every_experiment_has_run_and_render(self):

@@ -1,0 +1,10 @@
+"""REPRO006 positive inside coldstart/: restore charges are arithmetic,
+never host-time measurements."""
+
+import time
+
+
+def measure_restore(state):
+    begin = time.perf_counter()
+    state.restore()
+    return time.perf_counter() - begin

@@ -1,0 +1,12 @@
+"""REPRO008 positive: module-level cold-start model singletons.
+
+A spectrum model's recorded page traces are per-simulation state; built
+at import time they would leak one run's working set into the next.
+"""
+
+from repro.coldstart import (ColdStartSpec, PageReplayState,
+                             SpectrumColdStart, make_coldstart_model)
+
+MODEL = SpectrumColdStart(ColdStartSpec(kind="spectrum"))
+PAGES: PageReplayState = PageReplayState(pages=4096)
+DEFAULT = make_coldstart_model(ColdStartSpec(kind="constant"))

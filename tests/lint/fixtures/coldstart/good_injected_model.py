@@ -1,0 +1,20 @@
+"""REPRO008 negative: cold-start models built per simulation."""
+
+from dataclasses import dataclass, field
+
+from repro.coldstart import (ColdStartSpec, PageReplayState,
+                             SpectrumColdStart, make_coldstart_model)
+
+
+def make_model(spec: ColdStartSpec):
+    return make_coldstart_model(spec)
+
+
+@dataclass
+class Simulation:
+    model: SpectrumColdStart = field(
+        default_factory=lambda: SpectrumColdStart(
+            ColdStartSpec(kind="spectrum")))
+
+    def fresh_pages(self, pages: int) -> PageReplayState:
+        return PageReplayState(pages=pages)

@@ -94,6 +94,13 @@ class TestScopeKey:
         assert rule.applies_to("fleet/region.py")
         assert rule.applies_to("fleet/balancer.py")
 
+    def test_wallclock_covers_coldstart(self):
+        # Restore/init charges land inside memoized spectrum cells, so
+        # the cold-start package must stay pure arithmetic.
+        rule = get_rule("REPRO006")
+        assert rule.applies_to("coldstart/pages.py")
+        assert rule.applies_to("coldstart/model.py")
+
 
 class TestREPRO001:
     def test_positive(self, fixture_violations):
@@ -252,6 +259,23 @@ class TestREPRO008:
         assert rule.applies_to("engine/sweep.py")
         assert rule.applies_to("obs/tracer.py")
         assert rule.applies_to("experiments/runner.py")
+
+    def test_module_level_coldstart_model_fires(self, fixture_violations):
+        # A spectrum model's recorded page trace is per-simulation state;
+        # module-level construction is the same ambient-singleton defect
+        # as a global tracer.
+        found = _for_file(fixture_violations, "bad_global_model.py")
+        assert {v.rule_id for v in found} == {"REPRO008"}
+        assert len(found) == 3  # SpectrumColdStart, PageReplayState,
+        #                         make_coldstart_model
+
+    def test_injected_coldstart_model_is_silent(self, fixture_violations):
+        assert not _for_file(fixture_violations, "good_injected_model.py")
+
+    def test_wallclock_in_coldstart_fires(self, fixture_violations):
+        found = _for_file(fixture_violations, "bad_coldstart_wallclock.py")
+        assert {v.rule_id for v in found} == {"REPRO006"}
+        assert len(found) == 2  # two perf_counter reads
 
 
 class TestSuppression:

@@ -105,7 +105,7 @@ class TestValidateEvent:
 
 
 def test_vocabulary_is_closed_and_dotted():
-    assert len(KINDS) == 24
+    assert len(KINDS) == 27
     for kind in KINDS:
         assert "." in kind
         assert kind == kind.lower()
